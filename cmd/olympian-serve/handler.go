@@ -1,0 +1,294 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"olympian"
+	"olympian/internal/model"
+)
+
+// newHandler builds the HTTP API.
+func newHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /models", handleModels)
+	mux.HandleFunc("POST /profile", handleProfile)
+	mux.HandleFunc("POST /simulate", handleSimulate)
+	mux.HandleFunc("GET /experiments", handleExperimentList)
+	mux.HandleFunc("POST /experiments/", handleExperimentRun)
+	mux.HandleFunc("POST /plan", handlePlan)
+	mux.HandleFunc("POST /trace", handleTrace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func handleModels(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		Model      string  `json:"model"`
+		PaperBatch int     `json:"paperBatch"`
+		Nodes      int     `json:"nodes"`
+		GPUNodes   int     `json:"gpuNodes"`
+		RuntimeSec float64 `json:"paperRuntimeSec"`
+	}
+	var rows []row
+	for _, e := range model.Table2() {
+		rows = append(rows, row{
+			Model: e.Model, PaperBatch: e.Batch,
+			Nodes: e.Nodes, GPUNodes: e.GPUNodes,
+			RuntimeSec: e.Runtime.Seconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+type profileRequest struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch"`
+	GPU   string `json:"gpu"`
+}
+
+func handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req profileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	spec := olympian.GTX1080Ti
+	if req.GPU == "titan-x" {
+		spec = olympian.TitanX
+	}
+	if req.Batch <= 0 {
+		req.Batch = 100
+	}
+	prof, err := olympian.Profile(req.Model, req.Batch, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":          prof.Model,
+		"batch":          prof.Batch,
+		"totalCostMs":    prof.TotalCost.Seconds() * 1e3,
+		"gpuDurationMs":  prof.GPUDuration.Seconds() * 1e3,
+		"rate":           prof.Rate(),
+		"soloRuntimeMs":  prof.Runtime.Seconds() * 1e3,
+		"thresholdUsAtQ": map[string]float64{"1200us": float64(prof.Threshold(1200 * time.Microsecond).Microseconds())},
+	})
+}
+
+type clientGroup struct {
+	Model    string `json:"model"`
+	Batch    int    `json:"batch"`
+	Batches  int    `json:"batches"`
+	Count    int    `json:"count"`
+	Weight   int    `json:"weight"`
+	Priority int    `json:"priority"`
+}
+
+type simulateRequest struct {
+	Scheduler string        `json:"scheduler"` // tf-serving | olympian | cpu-timer
+	Policy    string        `json:"policy"`    // fair | weighted | priority | lottery | deficit-rr
+	QuantumUs int           `json:"quantumUs"`
+	Seed      int64         `json:"seed"`
+	Clients   []clientGroup `json:"clients"`
+}
+
+// expandClients turns client groups into a flat client list.
+func expandClients(groups []clientGroup) []olympian.Client {
+	var clients []olympian.Client
+	for _, g := range groups {
+		count := g.Count
+		if count <= 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			clients = append(clients, olympian.Client{
+				Model: g.Model, Batch: g.Batch, Batches: g.Batches,
+				Weight: g.Weight, Priority: g.Priority,
+			})
+		}
+	}
+	return clients
+}
+
+// buildSimulation translates a request into a simulation config and
+// clients.
+func buildSimulation(req simulateRequest) (olympian.Config, []olympian.Client, error) {
+	cfg := olympian.Config{Seed: req.Seed, Quantum: time.Duration(req.QuantumUs) * time.Microsecond}
+	switch req.Scheduler {
+	case "", "tf-serving":
+		cfg.Scheduler = olympian.SchedulerTFServing
+	case "olympian":
+		cfg.Scheduler = olympian.SchedulerOlympian
+	case "cpu-timer":
+		cfg.Scheduler = olympian.SchedulerCPUTimer
+	case "kernel-slicing":
+		cfg.Scheduler = olympian.SchedulerKernelSlicing
+	default:
+		return cfg, nil, fmt.Errorf("unknown scheduler %q", req.Scheduler)
+	}
+	switch req.Policy {
+	case "", "fair":
+		cfg.Policy = olympian.FairPolicy()
+	case "weighted":
+		cfg.Policy = olympian.WeightedFairPolicy()
+	case "priority":
+		cfg.Policy = olympian.PriorityPolicy()
+	case "lottery":
+		cfg.Policy = olympian.LotteryPolicy()
+	case "deficit-rr":
+		cfg.Policy = olympian.DeficitRoundRobinPolicy()
+	case "edf":
+		cfg.Policy = olympian.EDFPolicy()
+	default:
+		return cfg, nil, fmt.Errorf("unknown policy %q", req.Policy)
+	}
+	clients := expandClients(req.Clients)
+	if len(clients) == 0 {
+		return cfg, nil, fmt.Errorf("no clients in request")
+	}
+	return cfg, clients, nil
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	cfg, clients, err := buildSimulation(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := olympian.Simulate(cfg, clients)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	finishes := make([]float64, 0, len(clients))
+	for _, d := range res.FinishTimes() {
+		finishes = append(finishes, d.Seconds())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"finishSec":     finishes,
+		"spread":        res.FinishSpread(),
+		"utilization":   res.Utilization(),
+		"tokenSwitches": res.TokenSwitches(),
+		"meanQuantumUs": float64(res.MeanQuantum().Microseconds()),
+		"elapsedSec":    res.Elapsed().Seconds(),
+		"failedClients": res.FailedClients(),
+	})
+}
+
+// handlePlan predicts finish times analytically (processor-sharing fluid
+// model) without running the simulation.
+func handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	policy := olympian.PlanFair
+	switch req.Policy {
+	case "", "fair":
+	case "weighted":
+		policy = olympian.PlanWeighted
+	case "priority":
+		policy = olympian.PlanPriority
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("planner supports fair|weighted|priority, not %q", req.Policy))
+		return
+	}
+	clients := expandClients(req.Clients)
+	if len(clients) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no clients in request"))
+		return
+	}
+	fins, err := olympian.Plan(clients, policy, olympian.GTX1080Ti)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]float64, len(fins))
+	for i, f := range fins {
+		out[i] = f.Seconds()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"finishSec": out})
+}
+
+// handleTrace runs a simulation and returns its scheduling timeline as a
+// Chrome trace (open with chrome://tracing or ui.perfetto.dev).
+func handleTrace(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Scheduler == "" {
+		req.Scheduler = "olympian"
+	}
+	cfg, clients, err := buildSimulation(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := olympian.Simulate(cfg, clients)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := res.WriteTrace(w, clients); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var rows []row
+	for _, e := range olympian.Experiments() {
+		rows = append(rows, row{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/experiments/")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing experiment id"))
+		return
+	}
+	quick := r.URL.Query().Get("quick") != ""
+	rep, err := olympian.RunExperiment(id, quick)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      rep.ID,
+		"title":   rep.Title,
+		"paper":   rep.Paper,
+		"headers": rep.Headers,
+		"rows":    rep.Rows,
+		"notes":   rep.Notes,
+		"metrics": rep.Metrics,
+	})
+}

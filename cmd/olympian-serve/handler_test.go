@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func do(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var obj map[string]any
+	if strings.HasPrefix(strings.TrimSpace(rec.Body.String()), "{") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &obj); err != nil {
+			t.Fatalf("decode %s %s: %v\n%s", method, path, err, rec.Body.String())
+		}
+	}
+	return rec, obj
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	h := newHandler()
+	rec, _ := do(t, h, "GET", "/models", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d models, want 7", len(rows))
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	h := newHandler()
+	rec, obj := do(t, h, "POST", "/profile", `{"model":"resnet-152","batch":50}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, obj)
+	}
+	if obj["rate"].(float64) <= 0 {
+		t.Fatalf("rate %v", obj["rate"])
+	}
+	rec, _ = do(t, h, "POST", "/profile", `{"model":"bogus"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bogus model status %d", rec.Code)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	h := newHandler()
+	body := `{"scheduler":"olympian","policy":"fair",
+	  "clients":[{"model":"inception-v4","batch":50,"batches":2,"count":3}]}`
+	rec, obj := do(t, h, "POST", "/simulate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, obj)
+	}
+	if spread := obj["spread"].(float64); spread > 1.02 {
+		t.Fatalf("olympian spread %v", spread)
+	}
+	fin := obj["finishSec"].([]any)
+	if len(fin) != 3 {
+		t.Fatalf("%d finishes, want 3", len(fin))
+	}
+	rec, _ = do(t, h, "POST", "/simulate", `{"scheduler":"warp-drive"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad scheduler status %d", rec.Code)
+	}
+	rec, _ = do(t, h, "POST", "/simulate", `{"scheduler":"olympian"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("no clients status %d", rec.Code)
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	h := newHandler()
+	rec, _ := do(t, h, "GET", "/experiments", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	rec, obj := do(t, h, "POST", "/experiments/fig4?quick=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run status %d: %v", rec.Code, obj)
+	}
+	if obj["id"] != "fig4" {
+		t.Fatalf("id %v", obj["id"])
+	}
+	rec, _ = do(t, h, "POST", "/experiments/nope", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown experiment status %d", rec.Code)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	h := newHandler()
+	body := `{"policy":"weighted",
+	  "clients":[{"model":"inception-v4","batch":50,"batches":2,"count":2,"weight":2},
+	             {"model":"inception-v4","batch":50,"batches":2,"count":2,"weight":1}]}`
+	rec, obj := do(t, h, "POST", "/plan", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, obj)
+	}
+	fins := obj["finishSec"].([]any)
+	if len(fins) != 4 {
+		t.Fatalf("%d predictions", len(fins))
+	}
+	// Heavy clients finish earlier than light ones.
+	if fins[0].(float64) >= fins[2].(float64) {
+		t.Fatalf("weighted plan not ordered: %v", fins)
+	}
+	rec, _ = do(t, h, "POST", "/plan", `{"policy":"lottery","clients":[{"model":"vgg","batch":10}]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unsupported planner policy status %d", rec.Code)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	h := newHandler()
+	body := `{"clients":[{"model":"inception-v4","batch":40,"batches":1,"count":2}]}`
+	rec, _ := do(t, h, "POST", "/trace", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "traceEvents") {
+		t.Fatal("trace output missing traceEvents")
+	}
+	if !strings.Contains(rec.Body.String(), `"ph":"X"`) {
+		t.Fatal("trace output missing slices")
+	}
+}

@@ -1,0 +1,41 @@
+// Command olympian-serve exposes the Olympian simulation as an HTTP JSON
+// API — a control-plane demo of the serving system.
+//
+//	olympian-serve -addr :8080
+//
+// Endpoints:
+//
+//	GET  /models                  model zoo with Table 2 anchors
+//	POST /profile                 offline-profile a model
+//	POST /simulate                run a client mix under a scheduler
+//	GET  /experiments             list paper reproductions
+//	POST /experiments/{id}        run one reproduction (?quick=1)
+//
+// Example:
+//
+//	curl -s localhost:8080/simulate -d '{
+//	  "scheduler": "olympian", "policy": "fair",
+//	  "clients": [{"model":"inception-v4","batch":100,"batches":10,"count":10}]
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	fs := flag.NewFlagSet("olympian-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	srv := &http.Server{Addr: *addr, Handler: newHandler()}
+	fmt.Printf("olympian-serve listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

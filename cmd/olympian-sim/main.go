@@ -1,0 +1,103 @@
+// Command olympian-sim reproduces the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	olympian-sim -list                 # list experiment ids
+//	olympian-sim fig11 fig17          # run specific experiments
+//	olympian-sim -all                  # run everything (full size)
+//	olympian-sim -quick fig16          # shrunken workloads for smoke runs
+//	olympian-sim -seed 7 fig3          # different randomness
+//
+// Each experiment prints the same rows the paper's table or figure reports,
+// plus derived notes and machine-readable metrics.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"olympian/internal/experiments"
+)
+
+// writeCSV emits the report's table with an experiment-id column prefix.
+func writeCSV(w io.Writer, rep *experiments.Report) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"experiment"}, rep.Headers...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rep.Rows {
+		if err := cw.Write(append([]string{rep.ID}, row...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "olympian-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("olympian-sim", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		all      = fs.Bool("all", false, "run every experiment")
+		quick    = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		csv      = fs.Bool("csv", false, "emit rows as CSV instead of an aligned table")
+		scenFile = fs.String("scenario", "", "run a custom scenario JSON file instead of a paper experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scenFile != "" {
+		return runScenario(os.Stdout, *scenFile)
+	}
+	registry := experiments.Registry()
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if *all {
+		ids = nil
+		for _, e := range registry {
+			ids = append(ids, e.ID)
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments given; use -list to see ids or -all to run everything")
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *csv {
+			if err := writeCSV(os.Stdout, rep); err != nil {
+				return err
+			}
+		} else {
+			rep.Fprint(os.Stdout)
+			fmt.Printf("(completed in %.1fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package olympian_test
+
+import (
+	"fmt"
+	"time"
+
+	"olympian"
+)
+
+// Example_fairSharing reproduces the paper's headline claim in miniature:
+// identical clients finish together under Olympian but not under vanilla
+// TF-Serving.
+func Example_fairSharing() {
+	clients := olympian.HomogeneousClients(olympian.Inception, 50, 2, 4)
+
+	vanilla, err := olympian.Simulate(olympian.Config{
+		Scheduler: olympian.SchedulerTFServing,
+	}, clients)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fair, err := olympian.Simulate(olympian.Config{
+		Scheduler: olympian.SchedulerOlympian,
+		Policy:    olympian.FairPolicy(),
+	}, clients)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("tf-serving equalizes finish times: %v\n", vanilla.FinishSpread() < 1.01)
+	fmt.Printf("olympian equalizes finish times: %v\n", fair.FinishSpread() < 1.01)
+	// Output:
+	// tf-serving equalizes finish times: false
+	// olympian equalizes finish times: true
+}
+
+// Example_weightedSharing shows the (k+1)/2k finish-time ratio for 2:1
+// weights the paper derives and measures (Figure 17).
+func Example_weightedSharing() {
+	clients := olympian.HomogeneousClients(olympian.Inception, 50, 3, 4)
+	clients[0].Weight, clients[1].Weight = 2, 2
+
+	res, err := olympian.Simulate(olympian.Config{
+		Scheduler: olympian.SchedulerOlympian,
+		Policy:    olympian.WeightedFairPolicy(),
+	}, clients)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fins := res.FinishTimes()
+	ratio := (fins[0] + fins[1]).Seconds() / (fins[2] + fins[3]).Seconds()
+	fmt.Printf("heavy/light finish ratio: %.2f (theory 0.75)\n", ratio)
+	// Output:
+	// heavy/light finish ratio: 0.75 (theory 0.75)
+}
+
+// Example_profiling walks the operator workflow: profile a model offline
+// and derive the cost-accumulation threshold T_j = Q*C_j/D_j.
+func Example_profiling() {
+	prof, err := olympian.Profile(olympian.ResNet152, 100, olympian.GTX1080Ti)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	q := 1200 * time.Microsecond
+	fmt.Printf("profile is self-consistent: %v\n", prof.TotalCost > 0 && prof.GPUDuration > 0)
+	fmt.Printf("threshold grows with quantum: %v\n", prof.Threshold(2*q) > prof.Threshold(q))
+	// Output:
+	// profile is self-consistent: true
+	// threshold grows with quantum: true
+}

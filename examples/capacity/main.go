@@ -1,0 +1,70 @@
+// Capacity planning: how many clients fit one GPU?
+//
+// The paper's §4.3 finds two scaling limits. Device memory caps both
+// TF-Serving and Olympian near 45 Inception batch-100 clients on an 11GB
+// GTX 1080 Ti. The CPU thread pool caps Olympian sooner than TF-Serving:
+// TF-Serving's threads return to the pool as soon as their kernel finishes,
+// while Olympian's suspended gangs hold their threads across whole
+// scheduling rounds — push enough clients and the serving process can no
+// longer make progress. This example measures both limits.
+//
+// Run with: go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"olympian"
+)
+
+func main() {
+	perClient, err := olympian.ModelMemory(olympian.Inception, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one Inception batch-100 client needs %d MB of device memory\n", perClient>>20)
+	fmt.Printf("an 11GB GTX 1080 Ti therefore fits ~%d clients\n\n",
+		olympian.GTX1080Ti.MemoryBytes/perClient)
+
+	// Memory limit: ramp offered load past the device capacity and observe
+	// admission (scheduler-independent).
+	fmt.Println("memory limit (TF-Serving, ReserveMemory on):")
+	fmt.Println("offered  admitted  rejected  last finish")
+	for _, n := range []int{20, 40, 60} {
+		clients := olympian.HomogeneousClients(olympian.Inception, 100, 1, n)
+		res, err := olympian.Simulate(olympian.Config{
+			Scheduler:     olympian.SchedulerTFServing,
+			ReserveMemory: true,
+		}, clients)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d  %8d  %8d  %v\n",
+			n, len(res.FinishTimes()), len(res.FailedClients()),
+			res.Elapsed().Round(10e6))
+	}
+
+	// Thread-pool limit: with gangs of ~100 threads per Inception client, a
+	// 4000-thread pool carries ~35 Olympian clients — suspended gangs hold
+	// their threads and the serving process stalls beyond that, while
+	// TF-Serving keeps (slowly) draining. This is the paper's finding that
+	// Olympian supports fewer concurrent clients for some DNNs.
+	fmt.Println("\nthread-pool limit (4000 threads, no memory reservation):")
+	fmt.Println("clients  system      outcome")
+	for _, n := range []int{20, 40} {
+		for _, s := range []struct {
+			name string
+			kind olympian.Scheduler
+		}{{"tf-serving", olympian.SchedulerTFServing}, {"olympian", olympian.SchedulerOlympian}} {
+			clients := olympian.HomogeneousClients(olympian.Inception, 100, 1, n)
+			res, err := olympian.Simulate(olympian.Config{Scheduler: s.kind}, clients)
+			switch {
+			case err != nil:
+				fmt.Printf("%7d  %-10s  stalled: suspended gangs exhausted the thread pool\n", n, s.name)
+			default:
+				fmt.Printf("%7d  %-10s  completed in %v\n", n, s.name, res.Elapsed().Round(10e6))
+			}
+		}
+	}
+}

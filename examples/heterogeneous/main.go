@@ -1,0 +1,82 @@
+// Heterogeneous serving: seven DNNs, one GPU, equal shares.
+//
+// This is the paper's §4.1 "complex workload": fourteen clients running all
+// seven models of the zoo (Inception-v4, GoogLeNet, AlexNet, VGG,
+// ResNet-50/101/152) at different batch sizes. The example walks the full
+// operator workflow: profile each model offline, derive the
+// cost-accumulation thresholds T_j = Q*C_j/D_j, run the mix under fair
+// sharing, and verify every client received the same per-quantum GPU
+// duration regardless of which model it serves (Figure 16).
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"olympian"
+)
+
+func main() {
+	batches := map[string]int{
+		olympian.Inception: 150,
+		olympian.GoogLeNet: 200,
+		olympian.AlexNet:   256,
+		olympian.VGG:       120,
+		olympian.ResNet50:  144,
+		olympian.ResNet101: 128,
+		olympian.ResNet152: 100,
+	}
+
+	// Step 1: offline profiles — the paper's C_j, D_j and rate per model.
+	q := 1620 * time.Microsecond
+	fmt.Println("offline profiles (GTX 1080 Ti):")
+	fmt.Println("model          batch  C_j      D_j      rate   T_j")
+	var clients []olympian.Client
+	for _, name := range olympian.Models() {
+		b := batches[name]
+		prof, err := olympian.Profile(name, b, olympian.GTX1080Ti)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s  %5d  %7.0fms %7.0fms %5.2f  %s\n",
+			name, b,
+			prof.TotalCost.Seconds()*1e3, prof.GPUDuration.Seconds()*1e3,
+			prof.Rate(), prof.Threshold(q).Round(10*time.Microsecond))
+		for k := 0; k < 2; k++ {
+			clients = append(clients, olympian.Client{Model: name, Batch: b, Batches: 5})
+		}
+	}
+
+	// Step 2: run the 14-client mix under Olympian fair sharing.
+	res, err := olympian.Simulate(olympian.Config{
+		Scheduler: olympian.SchedulerOlympian,
+		Policy:    olympian.FairPolicy(),
+		Quantum:   q,
+	}, clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: verify equal GPU shares per quantum.
+	fmt.Printf("\nfair sharing at Q=%v across %d clients (%d quanta total):\n",
+		q, len(clients), res.TokenSwitches())
+	fmt.Println("client  model          mean GPU per quantum")
+	per := res.QuantumDurations()
+	for c := 0; c < len(clients); c++ {
+		qs := per[c]
+		if len(qs) == 0 {
+			continue
+		}
+		var sum time.Duration
+		for _, d := range qs {
+			sum += d
+		}
+		fmt.Printf("%6d  %-13s  %v\n", c, clients[c].Model,
+			(sum / time.Duration(len(qs))).Round(time.Microsecond))
+	}
+	fmt.Printf("\nGPU utilization %.1f%%, last client finished at %v\n",
+		res.Utilization()*100, res.Elapsed().Round(10*time.Millisecond))
+}

@@ -1,0 +1,49 @@
+// Quickstart: the paper's headline result in ~40 lines.
+//
+// Ten identical Inception clients share one simulated GTX 1080 Ti. Under
+// vanilla TF-Serving the GPU driver schedules their kernels blindly and
+// finish times spread unpredictably (paper Figure 3); under Olympian's
+// fair sharing every client gets the same GPU share and they finish
+// together (Figure 11).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"olympian"
+)
+
+func main() {
+	// 10 clients x 10 input batches of Inception-v4 at batch size 100.
+	clients := olympian.HomogeneousClients(olympian.Inception, 100, 10, 10)
+
+	vanilla, err := olympian.Simulate(olympian.Config{
+		Scheduler: olympian.SchedulerTFServing,
+	}, clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fair, err := olympian.Simulate(olympian.Config{
+		Scheduler: olympian.SchedulerOlympian,
+		Policy:    olympian.FairPolicy(),
+	}, clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("client   tf-serving   olympian-fair")
+	vf, of := vanilla.FinishTimes(), fair.FinishTimes()
+	for c := range vf {
+		fmt.Printf("%6d   %9.2fs   %12.2fs\n", c, vf[c].Seconds(), of[c].Seconds())
+	}
+	fmt.Printf("\nfinish-time spread (max/min): tf-serving %.2fx, olympian %.3fx\n",
+		vanilla.FinishSpread(), fair.FinishSpread())
+	fmt.Printf("olympian interleaved %d quanta at a mean GPU duration of %v\n",
+		fair.TokenSwitches(), fair.MeanQuantum().Round(10e3))
+	fmt.Printf("GPU utilization: tf-serving %.1f%%, olympian %.1f%%\n",
+		vanilla.Utilization()*100, fair.Utilization()*100)
+}

@@ -1,0 +1,3 @@
+module olympian
+
+go 1.22

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"olympian/internal/sim"
+)
+
+// Failure injection: the scheduler must degrade gracefully, not wedge,
+// when its environment misbehaves.
+
+func TestStaleProfileStillFair(t *testing.T) {
+	// A profile whose costs are uniformly wrong by 2x (e.g. profiled on a
+	// different clock) changes quantum sizes but must not break fairness:
+	// all clients still receive equal (if mis-sized) shares.
+	q := 400 * time.Microsecond
+	h := newHarness(t, 1, Config{Quantum: q, SwitchCost: 0})
+	g := chainGraph(t, "m", 200, 80*time.Microsecond)
+	prof := uniformProfile(g, q)
+	for i := range prof.NodeCost {
+		prof.NodeCost[i] *= 2
+	}
+	prof.TotalCost *= 2
+	h.sched.SetProfile(g, prof)
+	fin := h.run(t, []clientSpec{{graph: g}, {graph: g}, {graph: g}})
+	spread := float64(fin[2]) / float64(fin[0])
+	if spread < 0.98 || spread > 1.05 {
+		t.Fatalf("stale profile broke fairness: %v", fin)
+	}
+}
+
+func TestRapidChurn(t *testing.T) {
+	// Many tiny jobs registering and deregistering in quick succession:
+	// the token must always land on a live job and the run must drain.
+	q := 100 * time.Microsecond
+	for _, policy := range []Policy{NewFair(), NewWeightedFair(), NewPriority(), NewLottery(), NewDeficitRR()} {
+		h := newHarness(t, 1, Config{Quantum: q, SwitchCost: 0, Policy: policy})
+		g := chainGraph(t, "tiny", 3, 30*time.Microsecond)
+		h.sched.SetProfile(g, uniformProfile(g, q))
+		fin := h.run(t, []clientSpec{
+			{graph: g, batches: 20, weight: 2, priority: 1},
+			{graph: g, batches: 20, weight: 1, priority: 2},
+			{graph: g, batches: 20, weight: 1, priority: 1},
+		})
+		for i, f := range fin {
+			if f <= 0 {
+				t.Fatalf("%s: client %d never finished", policy.Name(), i)
+			}
+		}
+		if h.sched.ActiveJobs() != 0 {
+			t.Fatalf("%s: %d jobs leaked", policy.Name(), h.sched.ActiveJobs())
+		}
+	}
+}
+
+func TestLateArrivalGetsServed(t *testing.T) {
+	q := 200 * time.Microsecond
+	h := newHarness(t, 1, Config{Quantum: q, SwitchCost: 0, Policy: NewPriority()})
+	g := chainGraph(t, "m", 100, 50*time.Microsecond)
+	h.sched.SetProfile(g, uniformProfile(g, q))
+	var lateFinish sim.Time
+	// Two low-priority clients start immediately; a high-priority client
+	// arrives mid-run and must preempt at the next quantum boundary.
+	for i := 0; i < 2; i++ {
+		h.env.Go("early", func(p *sim.Proc) {
+			job := h.eng.NewJob(0, g)
+			job.Priority = 1
+			h.eng.Run(p, job)
+		})
+	}
+	h.env.Go("late", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond)
+		job := h.eng.NewJob(9, g)
+		job.Priority = 5
+		h.eng.Run(p, job)
+		lateFinish = p.Now()
+	})
+	if err := h.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h.env.Shutdown()
+	// Solo time is 5ms; the late high-priority job should finish roughly
+	// solo time after its 2ms arrival, far earlier than a fair share.
+	if lateFinish > sim.Time(9*time.Millisecond) {
+		t.Fatalf("high-priority late arrival finished at %v, want <9ms", lateFinish)
+	}
+}
+
+func TestDeregisterWhileSuspended(t *testing.T) {
+	// A job that completes its last node as a non-holder (overflow path)
+	// must deregister cleanly and pass nothing stale to the policy.
+	q := 150 * time.Microsecond
+	h := newHarness(t, 1, Config{Quantum: q, SwitchCost: 0})
+	short := chainGraph(t, "short", 4, 60*time.Microsecond)
+	long := chainGraph(t, "long", 300, 60*time.Microsecond)
+	h.sched.SetProfile(short, uniformProfile(short, q))
+	h.sched.SetProfile(long, uniformProfile(long, q))
+	fin := h.run(t, []clientSpec{
+		{graph: short, batches: 8},
+		{graph: long},
+		{graph: long},
+	})
+	for i, f := range fin {
+		if f <= 0 {
+			t.Fatalf("client %d never finished: %v", i, fin)
+		}
+	}
+}

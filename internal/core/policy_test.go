@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"olympian/internal/executor"
+)
+
+func mkJobs(ids ...int) []*executor.Job {
+	out := make([]*executor.Job, len(ids))
+	for i, id := range ids {
+		out[i] = &executor.Job{ID: id, Client: id, Weight: 1}
+	}
+	return out
+}
+
+func TestNextByIDCycles(t *testing.T) {
+	jobs := mkJobs(3, 7, 9)
+	if got := nextByID(jobs, nil); got.ID != 3 {
+		t.Fatalf("first grant -> %d, want 3", got.ID)
+	}
+	if got := nextByID(jobs, jobs[0]); got.ID != 7 {
+		t.Fatalf("after 3 -> %d, want 7", got.ID)
+	}
+	if got := nextByID(jobs, jobs[2]); got.ID != 3 {
+		t.Fatalf("after 9 -> %d, want wrap to 3", got.ID)
+	}
+}
+
+func TestNextByIDAfterDeparture(t *testing.T) {
+	// The previous holder (ID 7) deregistered; the successor is the next
+	// higher ID still active.
+	jobs := mkJobs(3, 9)
+	departed := &executor.Job{ID: 7}
+	if got := nextByID(jobs, departed); got.ID != 9 {
+		t.Fatalf("after departed 7 -> %d, want 9", got.ID)
+	}
+}
+
+func TestNextByIDEmpty(t *testing.T) {
+	if got := nextByID(nil, nil); got != nil {
+		t.Fatalf("empty set -> %v, want nil", got)
+	}
+}
+
+func TestFairPolicyRoundRobin(t *testing.T) {
+	p := NewFair()
+	jobs := mkJobs(1, 2, 3)
+	seq := []int{}
+	var last *executor.Job
+	for i := 0; i < 6; i++ {
+		last = p.Grant(nil, jobs, last)
+		seq = append(seq, last.ID)
+	}
+	want := []int{1, 2, 3, 1, 2, 3}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestWeightedFairStreaks(t *testing.T) {
+	p := NewWeightedFair()
+	jobs := mkJobs(1, 2)
+	jobs[0].Weight = 3
+	jobs[1].Weight = 1
+	seq := []int{}
+	var last *executor.Job
+	for i := 0; i < 8; i++ {
+		last = p.Grant(nil, jobs, last)
+		seq = append(seq, last.ID)
+	}
+	want := []int{1, 1, 1, 2, 1, 1, 1, 2}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestWeightedFairStreakEndsOnDeparture(t *testing.T) {
+	p := NewWeightedFair()
+	jobs := mkJobs(1, 2)
+	jobs[0].Weight = 5
+	last := p.Grant(nil, jobs, nil)
+	if last.ID != 1 {
+		t.Fatalf("first grant %d, want 1", last.ID)
+	}
+	// Job 1 deregisters mid-streak.
+	remaining := jobs[1:]
+	next := p.Grant(nil, remaining, last)
+	if next.ID != 2 {
+		t.Fatalf("grant after departure %d, want 2", next.ID)
+	}
+}
+
+func TestPriorityPolicyPicksTopTier(t *testing.T) {
+	p := NewPriority()
+	jobs := mkJobs(1, 2, 3)
+	jobs[0].Priority = 1
+	jobs[1].Priority = 9
+	jobs[2].Priority = 9
+	seq := []int{}
+	var last *executor.Job
+	for i := 0; i < 4; i++ {
+		last = p.Grant(nil, jobs, last)
+		seq = append(seq, last.ID)
+	}
+	want := []int{2, 3, 2, 3} // round-robin within top tier
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestLotteryProportionalToWeights(t *testing.T) {
+	p := NewLottery()
+	jobs := mkJobs(1, 2)
+	jobs[0].Weight = 3
+	jobs[1].Weight = 1
+	rng := rand.New(rand.NewSource(7))
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		counts[p.Grant(rng, jobs, nil).ID]++
+	}
+	frac := float64(counts[1]) / 4000
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("weight-3 job won %.2f of grants, want ~0.75", frac)
+	}
+}
+
+func TestDeficitRRWeighting(t *testing.T) {
+	p := NewDeficitRR()
+	jobs := mkJobs(1, 2)
+	jobs[0].Weight = 2
+	counts := map[int]int{}
+	var last *executor.Job
+	for i := 0; i < 30; i++ {
+		last = p.Grant(nil, jobs, last)
+		counts[last.ID]++
+	}
+	if counts[1] != 2*counts[2] {
+		t.Fatalf("grants %v, want 2:1", counts)
+	}
+}
+
+// Property: every policy always returns a member of the active set.
+func TestPropertyPoliciesReturnActiveJob(t *testing.T) {
+	policies := []Policy{NewFair(), NewWeightedFair(), NewPriority(), NewLottery(), NewDeficitRR()}
+	rng := rand.New(rand.NewSource(1))
+	prop := func(n uint8, lastRaw uint8) bool {
+		count := int(n)%6 + 1
+		jobs := make([]*executor.Job, count)
+		for i := range jobs {
+			jobs[i] = &executor.Job{
+				ID: i + 1, Client: i + 1,
+				Weight:   int(lastRaw)%3 + 1,
+				Priority: int(lastRaw) % 4,
+			}
+		}
+		var last *executor.Job
+		if int(lastRaw)%2 == 0 {
+			last = jobs[int(lastRaw)%count]
+		}
+		for _, p := range policies {
+			got := p.Grant(rng, jobs, last)
+			found := false
+			for _, j := range jobs {
+				if j == got {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEDFPicksEarliestDeadline(t *testing.T) {
+	p := NewEDF()
+	jobs := mkJobs(1, 2, 3)
+	jobs[0].Deadline = 300
+	jobs[1].Deadline = 100
+	if got := p.Grant(nil, jobs, nil); got.ID != 2 {
+		t.Fatalf("granted %d, want the 100-deadline job", got.ID)
+	}
+	// Deadline-less jobs round-robin when no deadline is pending.
+	jobs[0].Deadline, jobs[1].Deadline = 0, 0
+	seq := []int{}
+	var last *executor.Job
+	for i := 0; i < 3; i++ {
+		last = p.Grant(nil, jobs, last)
+		seq = append(seq, last.ID)
+	}
+	if seq[0] != 1 || seq[1] != 2 || seq[2] != 3 {
+		t.Fatalf("fallback order %v", seq)
+	}
+}
+
+func TestEDFDeadlineTieBreaksByID(t *testing.T) {
+	p := NewEDF()
+	jobs := mkJobs(5, 4)
+	jobs[0].Deadline = 100
+	jobs[1].Deadline = 100
+	if got := p.Grant(nil, jobs, nil); got.ID != 4 {
+		t.Fatalf("granted %d, want lowest ID on tie", got.ID)
+	}
+}

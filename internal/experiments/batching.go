@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"olympian/internal/metrics"
+	"olympian/internal/model"
+	"olympian/internal/serving"
+	"olympian/internal/sim"
+)
+
+// ExtBatching exercises the request-level serving front-end (TF-Serving's
+// batching layer, paper §2): individual requests arrive open-loop and the
+// batcher trades queueing delay for per-image efficiency. Small maximum
+// batches saturate the GPU on per-kernel overheads; larger ones amortize
+// them.
+func ExtBatching(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "ext-batching",
+		Title: "Extension: request batching front-end (TF-Serving's batching layer)",
+		Paper: "batching amortizes per-kernel overheads (paper §2 background)",
+	}
+	horizon := 4 * time.Second
+	rate := 60.0 // requests per second
+	if o.Quick {
+		horizon = 1500 * time.Millisecond
+		rate = 40
+	}
+	r.Headers = []string{"max batch", "requests", "batches", "mean size", "p50 latency", "p95 latency", "drained at"}
+	type point struct {
+		maxBatch int
+		drain    time.Duration
+	}
+	var pts []point
+	for _, maxBatch := range []int{1, 8, 32} {
+		env := sim.NewEnv(o.Seed)
+		srv := serving.NewServer(env, serving.Config{
+			MaxBatch:     maxBatch,
+			BatchTimeout: 5 * time.Millisecond,
+			Seed:         o.Seed,
+		})
+		// Open-loop Poisson arrivals.
+		rng := rand.New(rand.NewSource(o.Seed + 31))
+		t := time.Duration(0)
+		n := 0
+		for {
+			t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+			if t >= horizon {
+				break
+			}
+			at := t
+			n++
+			env.Go("request", func(p *sim.Proc) {
+				p.Sleep(at)
+				req, err := srv.Submit(p, model.Inception)
+				if err != nil {
+					return
+				}
+				req.Wait(p)
+			})
+		}
+		if err := env.Run(); err != nil {
+			return nil, fmt.Errorf("ext-batching maxBatch=%d: %w", maxBatch, err)
+		}
+		drained := time.Duration(env.Now())
+		env.Shutdown()
+		st := srv.Stats()
+		r.AddRow(fmt.Sprintf("%d", maxBatch),
+			fmt.Sprintf("%d", st.Requests), fmt.Sprintf("%d", st.Batches),
+			fmt.Sprintf("%.1f", st.MeanBatchSize),
+			fmt.Sprintf("%.0fms", st.P50*1e3), fmt.Sprintf("%.0fms", st.P95*1e3),
+			metrics.FormatSeconds(drained))
+		pts = append(pts, point{maxBatch: maxBatch, drain: drained})
+		r.SetMetric(fmt.Sprintf("p95_ms_b%d", maxBatch), st.P95*1e3)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	r.AddNote("batching consolidates the same requests into fewer, larger jobs (fewer kernel launches and sessions) at comparable latency; drained %v vs %v", first.drain, last.drain)
+	r.SetMetric("drain_ratio", first.drain.Seconds()/last.drain.Seconds())
+	return r, nil
+}

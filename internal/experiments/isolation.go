@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"olympian/internal/metrics"
+	"olympian/internal/model"
+	"olympian/internal/workload"
+)
+
+// Fig11 reproduces Figure 11: per-client finish times on the homogeneous
+// workload under vanilla TF-Serving and under Olympian fair sharing. The
+// paper finds nearly identical finish times (48-50s) under Olympian against
+// a 42-50s spread under TF-Serving.
+func Fig11(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig11",
+		Title: "Fair sharing: finish times on a homogeneous workload",
+		Paper: "Olympian equalizes finish times; TF-Serving spreads them",
+	}
+	clients := o.homogeneous(o.clients())
+	van, err := o.run(workload.Config{Kind: workload.Vanilla}, clients)
+	if err != nil {
+		return nil, err
+	}
+	oly, err := o.run(workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, clients)
+	if err != nil {
+		return nil, err
+	}
+	r.Headers = []string{"client", "tf-serving", "olympian-fair"}
+	dv, do := van.Finishes.Durations(), oly.Finishes.Durations()
+	for c := range dv {
+		r.AddRow(fmt.Sprintf("%d", c), metrics.FormatSeconds(dv[c]), metrics.FormatSeconds(do[c]))
+	}
+	sv, so := van.Finishes.Summary(), oly.Finishes.Summary()
+	overhead := (so.Max - sv.Max) / sv.Max
+	r.AddNote("TF-Serving spread %.2fx; Olympian spread %.3fx; Olympian overhead vs TF-Serving %.1f%%",
+		sv.Spread(), so.Spread(), overhead*100)
+	r.SetMetric("vanilla_spread", sv.Spread())
+	r.SetMetric("olympian_spread", so.Spread())
+	r.SetMetric("overhead", overhead)
+	return r, nil
+}
+
+// Fig12 reproduces Figure 12: the durations of successive scheduling
+// intervals under Olympian fair sharing. The paper measures an average of
+// 1.8ms with wide per-interval variation.
+func Fig12(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig12",
+		Title: "Duration of scheduling intervals (Olympian fair sharing)",
+		Paper: "average interval ~1.8ms; individual intervals vary widely",
+	}
+	clients := o.homogeneous(o.clients())
+	oly, err := o.run(workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, clients)
+	if err != nil {
+		return nil, err
+	}
+	var micros []float64
+	for _, q := range oly.Quanta {
+		micros = append(micros, float64(q.End.Sub(q.Start))/float64(time.Microsecond))
+	}
+	s := metrics.Summarize(micros)
+	r.Headers = []string{"intervals", "mean", "std", "p10", "p50", "p90", "p99"}
+	r.AddRow(
+		fmt.Sprintf("%d", s.N),
+		fmt.Sprintf("%.0fus", s.Mean),
+		fmt.Sprintf("%.0fus", s.Std),
+		fmt.Sprintf("%.0fus", metrics.Quantile(micros, 0.10)),
+		fmt.Sprintf("%.0fus", metrics.Quantile(micros, 0.50)),
+		fmt.Sprintf("%.0fus", metrics.Quantile(micros, 0.90)),
+		fmt.Sprintf("%.0fus", metrics.Quantile(micros, 0.99)),
+	)
+	r.AddNote("DNNs are interleaved at millisecond timescales (Q=%v)", o.quantum())
+	r.SetMetric("mean_interval_us", s.Mean)
+	r.SetMetric("interval_rel_std", s.RelStd())
+	return r, nil
+}
+
+// hetClients builds the Figure 13/14 workload: half Inception, half
+// ResNet-152.
+func (o Options) hetClients(inceptionBatch int) []workload.ClientSpec {
+	n := o.clients()
+	clients := make([]workload.ClientSpec, n)
+	for i := range clients {
+		if i < n/2 {
+			clients[i] = workload.ClientSpec{Model: model.Inception, Batch: inceptionBatch, Batches: o.batches()}
+		} else {
+			clients[i] = workload.ClientSpec{Model: model.ResNet152, Batch: o.batchSize(), Batches: o.batches()}
+		}
+	}
+	return clients
+}
+
+// Fig13 reproduces Figure 13: finish times for two heterogeneous workloads
+// (Inception at batch 100 then batch 150, against ResNet-152 at batch 100).
+// The paper finds per-model clusters of finish times: Olympian fair-shares
+// the GPU, not total runtime.
+func Fig13(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig13",
+		Title: "Fair sharing: finish times on heterogeneous workloads",
+		Paper: "per-model finish clusters; equalizing GPU time, not runtime",
+	}
+	incBatches := []int{o.batchSize(), o.scaleBatch(150)}
+	r.Headers = []string{"client", "model",
+		fmt.Sprintf("inception-%d/resnet-%d", incBatches[0], o.batchSize()),
+		fmt.Sprintf("inception-%d/resnet-%d", incBatches[1], o.batchSize())}
+	var runs []*workload.Result
+	var specs [][]workload.ClientSpec
+	for _, ib := range incBatches {
+		clients := o.hetClients(ib)
+		res, err := o.run(workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, clients)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, res)
+		specs = append(specs, clients)
+	}
+	d0, d1 := runs[0].Finishes.Durations(), runs[1].Finishes.Durations()
+	for c := range d0 {
+		r.AddRow(fmt.Sprintf("%d", c), specs[0][c].Model,
+			metrics.FormatSeconds(d0[c]), metrics.FormatSeconds(d1[c]))
+	}
+	for i, res := range runs {
+		byModel := res.Finishes.ByModel()
+		inc := metrics.SummarizeDurations(byModel[model.Inception])
+		rn := metrics.SummarizeDurations(byModel[model.ResNet152])
+		r.AddNote("workload %d: inception cluster %.2f±%.2fs, resnet cluster %.2f±%.2fs",
+			i+1, inc.Mean, inc.Std, rn.Mean, rn.Std)
+		r.SetMetric(fmt.Sprintf("w%d_inc_rel_spread", i+1), inc.RelStd())
+		r.SetMetric(fmt.Sprintf("w%d_rn_rel_spread", i+1), rn.RelStd())
+	}
+	return r, nil
+}
+
+// quantumStats summarizes per-client GPU durations per quantum over the
+// window during which all clients were active (the paper's methodology for
+// Figures 14 and 16).
+func quantumStats(res *workload.Result, nClients int) map[int]metrics.Summary {
+	out := make(map[int]metrics.Summary, nClients)
+	per := make(map[int][]float64)
+	for _, q := range res.Quanta {
+		if q.ActiveJobs < nClients {
+			continue // only count intervals while all jobs contend
+		}
+		per[q.Client] = append(per[q.Client], float64(q.GPUDuration)/float64(time.Microsecond))
+	}
+	for c, xs := range per {
+		out[c] = metrics.Summarize(xs)
+	}
+	return out
+}
+
+// Fig14 reproduces Figure 14: average GPU duration per quantum for the
+// heterogeneous workload. The paper measures 1084-1257us per client against
+// a predicted Q of 1190us, with 4.9-10.1% standard deviation.
+func Fig14(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig14",
+		Title: "Average GPU duration per quantum (heterogeneous workload)",
+		Paper: "all clients near predicted Q (1084-1257us vs Q=1190us)",
+	}
+	clients := o.hetClients(o.batchSize())
+	res, err := o.run(workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, clients)
+	if err != nil {
+		return nil, err
+	}
+	stats := quantumStats(res, len(clients))
+	r.Headers = []string{"client", "model", "mean GPU/quantum", "rel std", "quanta"}
+	var worst float64
+	q := float64(o.quantum().Microseconds())
+	for c := 0; c < len(clients); c++ {
+		s, ok := stats[c]
+		if !ok || s.N == 0 {
+			continue
+		}
+		dev := (s.Mean - q) / q
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+		r.AddRow(fmt.Sprintf("%d", c), clients[c].Model,
+			fmt.Sprintf("%.0fus", s.Mean), fmt.Sprintf("%.1f%%", s.RelStd()*100),
+			fmt.Sprintf("%d", s.N))
+	}
+	r.AddNote("predicted Q = %v; worst client deviation %.1f%%", o.quantum(), worst*100)
+	r.SetMetric("worst_dev_from_q", worst)
+	return r, nil
+}
+
+// complexClients builds the Figure 16 workload: 14 clients across the seven
+// DNNs at the Table 2 batch sizes.
+func (o Options) complexClients() []workload.ClientSpec {
+	entries := model.Table2()
+	var clients []workload.ClientSpec
+	for _, e := range entries {
+		for k := 0; k < 2; k++ {
+			clients = append(clients, workload.ClientSpec{
+				Model:   e.Model,
+				Batch:   o.scaleBatch(e.Batch),
+				Batches: o.batches(),
+			})
+		}
+	}
+	if o.Quick {
+		clients = clients[:6] // three models, two clients each
+	}
+	return clients
+}
+
+// Fig16 reproduces Figure 16: average GPU duration per quantum for 14
+// clients of seven different DNNs with different batch sizes. The paper
+// measures 1438-1662us against a chosen Q of 1620us with 4.1-12.0% std.
+func Fig16(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig16",
+		Title: "Average GPU duration per quantum (7 DNNs, 14 clients)",
+		Paper: "comparable GPU share per client, near Q=1620us; overhead ~1.8%",
+	}
+	clients := o.complexClients()
+	res, err := o.run(workload.Config{Kind: workload.Olympian, Quantum: o.complexQuantum()}, clients)
+	if err != nil {
+		return nil, err
+	}
+	stats := quantumStats(res, len(clients))
+	r.Headers = []string{"client", "model", "batch", "mean GPU/quantum", "rel std"}
+	q := float64(o.complexQuantum().Microseconds())
+	var worst float64
+	for c := 0; c < len(clients); c++ {
+		s, ok := stats[c]
+		if !ok || s.N == 0 {
+			continue
+		}
+		dev := (s.Mean - q) / q
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+		r.AddRow(fmt.Sprintf("%d", c), clients[c].Model, fmt.Sprintf("%d", clients[c].Batch),
+			fmt.Sprintf("%.0fus", s.Mean), fmt.Sprintf("%.1f%%", s.RelStd()*100))
+	}
+	r.AddNote("chosen Q = %v; worst client deviation %.1f%%", o.complexQuantum(), worst*100)
+	r.SetMetric("worst_dev_from_q", worst)
+	r.SetMetric("switches", float64(res.Switches))
+	return r, nil
+}
+
+// Fig15Overflow quantifies the Figure 10/15 effect directly: how many of a
+// switched-out job's kernels remain on the device at each hand-off, and
+// what their cost does to the job's next quantum.
+func Fig15Overflow(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig15",
+		Title: "Quantum overflow: in-flight kernels at gang-switch time",
+		Paper: "typically 2-3 nodes keep running after a switch",
+	}
+	clients := o.homogeneous(o.clients())
+	res, err := o.run(workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, clients)
+	if err != nil {
+		return nil, err
+	}
+	var counts []float64
+	withOverflow := 0
+	for _, q := range res.Quanta {
+		counts = append(counts, float64(q.OverflowKernels))
+		if q.OverflowKernels > 0 {
+			withOverflow++
+		}
+	}
+	s := metrics.Summarize(counts)
+	r.Headers = []string{"switches", "with overflow", "mean kernels", "max kernels"}
+	r.AddRow(fmt.Sprintf("%d", s.N),
+		fmt.Sprintf("%.0f%%", float64(withOverflow)/float64(s.N)*100),
+		fmt.Sprintf("%.2f", s.Mean), fmt.Sprintf("%.0f", s.Max))
+	r.AddNote("overflow kernels keep running after the switch; their cost is charged to the switched-out job, so fairness is preserved")
+	r.SetMetric("mean_overflow_kernels", s.Mean)
+	r.SetMetric("max_overflow_kernels", s.Max)
+	return r, nil
+}

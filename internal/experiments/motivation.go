@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"olympian/internal/metrics"
+	"olympian/internal/model"
+	"olympian/internal/profiler"
+	"olympian/internal/workload"
+)
+
+// Fig3 reproduces Figure 3: finish times of ten concurrent identical
+// Inception clients under vanilla TF-Serving, for two different runs. The
+// paper observes unpredictable finish times differing by up to 1.7x.
+func Fig3(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig3",
+		Title: "TF-Serving finish times for identical concurrent clients (two runs)",
+		Paper: "finish times vary across clients and runs, by up to 1.7x",
+	}
+	n := o.clients()
+	clients := o.homogeneous(n)
+	r.Headers = []string{"client", "run-1", "run-2"}
+
+	var runs []*workload.Result
+	for i, seed := range []int64{o.Seed, o.Seed + 17} {
+		res, err := o.run(workload.Config{Seed: seed, Kind: workload.Vanilla}, clients)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 run %d: %w", i+1, err)
+		}
+		runs = append(runs, res)
+	}
+	d1, d2 := runs[0].Finishes.Durations(), runs[1].Finishes.Durations()
+	for c := 0; c < n; c++ {
+		r.AddRow(fmt.Sprintf("%d", c), metrics.FormatSeconds(d1[c]), metrics.FormatSeconds(d2[c]))
+	}
+	s1, s2 := runs[0].Finishes.Summary(), runs[1].Finishes.Summary()
+	r.AddNote("run-1 spread max/min = %.2fx, run-2 spread = %.2fx", s1.Spread(), s2.Spread())
+	r.SetMetric("spread_run1", s1.Spread())
+	r.SetMetric("spread_run2", s2.Spread())
+	r.SetMetric("last_finish_s", s1.Max)
+	return r, nil
+}
+
+// Fig4 reproduces Figure 4: the CDF of per-node GPU durations for one
+// Inception job at two batch sizes. The paper finds most nodes execute for
+// tens of microseconds, with >90% under 1ms.
+func Fig4(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig4",
+		Title: "Node duration CDF for Inception (two batch sizes)",
+		Paper: "bulk of nodes below 20us; >90% below 1ms; millisecond tail",
+	}
+	batches := []int{10, 100}
+	if o.Quick {
+		batches = []int{10, 50}
+	}
+	r.Headers = []string{"batch", "nodes", "<20us", "<100us", "<1ms", "p50", "p99", "max"}
+	for _, b := range batches {
+		g, err := model.Build(model.Inception, b)
+		if err != nil {
+			return nil, err
+		}
+		durs := metrics.DurationsToMicros(g.GPUDurations())
+		r.AddRow(
+			fmt.Sprintf("%d", b),
+			fmt.Sprintf("%d", len(durs)),
+			fmt.Sprintf("%.0f%%", metrics.FractionBelow(durs, 20)*100),
+			fmt.Sprintf("%.0f%%", metrics.FractionBelow(durs, 100)*100),
+			fmt.Sprintf("%.0f%%", metrics.FractionBelow(durs, 1000)*100),
+			fmt.Sprintf("%.0fus", metrics.Quantile(durs, 0.5)),
+			fmt.Sprintf("%.0fus", metrics.Quantile(durs, 0.99)),
+			fmt.Sprintf("%.0fus", metrics.Quantile(durs, 1.0)),
+		)
+		r.SetMetric(fmt.Sprintf("frac_under_1ms_b%d", b), metrics.FractionBelow(durs, 1000))
+	}
+	return r, nil
+}
+
+// Fig6 reproduces Figure 6: the runtime cost of running TensorFlow's cost
+// profiler online, for the seven DNNs. The paper measures 21-29% inflation.
+func Fig6(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig6",
+		Title: "Online cost-profiler overhead (solo runtime with vs without)",
+		Paper: "online profiling inflates execution time by 21-29%",
+	}
+	entries := model.Table2()
+	if o.Quick {
+		entries = entries[:2]
+	}
+	r.Headers = []string{"model", "batch", "offline", "online", "overhead"}
+	var minOv, maxOv float64
+	for i, e := range entries {
+		batch := o.scaleBatch(e.Batch)
+		g, err := model.Build(e.Model, batch)
+		if err != nil {
+			return nil, err
+		}
+		oo, err := profiler.MeasureOnlineOverhead(g, profiler.DefaultOnlineTax, profiler.Options{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(e.Model, fmt.Sprintf("%d", batch),
+			metrics.FormatSeconds(oo.Offline), metrics.FormatSeconds(oo.Online),
+			fmt.Sprintf("%.1f%%", oo.Overhead*100))
+		if i == 0 || oo.Overhead < minOv {
+			minOv = oo.Overhead
+		}
+		if oo.Overhead > maxOv {
+			maxOv = oo.Overhead
+		}
+	}
+	r.AddNote("online profiling overhead spans %.0f%% to %.0f%% — too costly for a serving path", minOv*100, maxOv*100)
+	r.SetMetric("min_overhead", minOv)
+	r.SetMetric("max_overhead", maxOv)
+	return r, nil
+}
+
+// Fig8 reproduces Figure 8: Overhead-Q curves for the seven DNNs, and the Q
+// the profiler would choose at the paper's 2.5% tolerance.
+func Fig8(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig8",
+		Title: "Overhead-Q curves (two instances per DNN, vanilla vs Olympian)",
+		Paper: "overhead decreases with Q; ~2.5% near Q of 1.2ms",
+	}
+	entries := model.Table2()
+	qs := profiler.DefaultQSweep()
+	if o.Quick {
+		entries = entries[:2]
+		qs = []time.Duration{500 * time.Microsecond, 1200 * time.Microsecond, 2400 * time.Microsecond}
+	}
+	r.Headers = []string{"model", "batch"}
+	for _, q := range qs {
+		r.Headers = append(r.Headers, q.String())
+	}
+	var curves []*profiler.OverheadCurve
+	for _, e := range entries {
+		batch := o.scaleBatch(e.Batch)
+		g, err := model.Build(e.Model, batch)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := profiler.ProfileSolo(g, profiler.Options{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		curve, err := profiler.MeasureOverheadCurve(g, prof, qs, profiler.Options{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, curve)
+		row := []string{e.Model, fmt.Sprintf("%d", batch)}
+		for _, pt := range curve.Points {
+			row = append(row, fmt.Sprintf("%.1f%%", pt.Overhead*100))
+		}
+		r.Rows = append(r.Rows, row)
+		first, last := curve.Points[0].Overhead, curve.Points[len(curve.Points)-1].Overhead
+		r.SetMetric("first_minus_last_"+e.Model, first-last)
+	}
+	const tolerance = 0.025
+	chosen := profiler.ChooseQForSet(curves, tolerance)
+	r.AddNote("Q chosen for %.1f%% tolerance across the set: %v (paper: ~1.2ms)", tolerance*100, chosen.Round(10*time.Microsecond))
+	r.SetMetric("chosen_q_us", float64(chosen.Microseconds()))
+	return r, nil
+}
+
+// Spatial reproduces the paper's GPU-multiplexing observation (§2): at the
+// paper's batch sizes, two concurrent Inception jobs take twice as long as
+// one — pixel-level parallelism exceeds the GPU, leaving no room for
+// spatial multiplexing — while small batches do overlap. This motivates
+// Olympian's choice of purely temporal multiplexing.
+func Spatial(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "spatial",
+		Title: "Spatial multiplexing headroom: 2 concurrent jobs vs 1",
+		Paper: "two concurrent Inception jobs take twice as long as one at large batch",
+	}
+	run := func(batch, n int) (time.Duration, error) {
+		clients := make([]workload.ClientSpec, n)
+		for i := range clients {
+			clients[i] = workload.ClientSpec{Model: model.Inception, Batch: batch, Batches: 1}
+		}
+		res, err := o.run(workload.Config{Kind: workload.Vanilla}, clients)
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed, nil
+	}
+	r.Headers = []string{"batch", "1 job", "2 jobs", "slowdown"}
+	big, small := o.batchSize(), 10
+	var bigRatio, smallRatio float64
+	for _, batch := range []int{small, big} {
+		one, err := run(batch, 1)
+		if err != nil {
+			return nil, err
+		}
+		two, err := run(batch, 2)
+		if err != nil {
+			return nil, err
+		}
+		ratio := two.Seconds() / one.Seconds()
+		if batch == big {
+			bigRatio = ratio
+		} else {
+			smallRatio = ratio
+		}
+		r.AddRow(fmt.Sprintf("%d", batch),
+			metrics.FormatSeconds(one), metrics.FormatSeconds(two),
+			fmt.Sprintf("%.2fx", ratio))
+	}
+	r.AddNote("large batches saturate the SMs (slowdown ~2x: temporal multiplexing only); small batches still overlap")
+	r.SetMetric("big_batch_slowdown", bigRatio)
+	r.SetMetric("small_batch_slowdown", smallRatio)
+	return r, nil
+}

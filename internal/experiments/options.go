@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"time"
+
+	"olympian/internal/gpu"
+	"olympian/internal/model"
+	"olympian/internal/profiler"
+	"olympian/internal/workload"
+)
+
+// Options scale and seed the experiments.
+type Options struct {
+	// Quick shrinks workloads (fewer clients, batches and images) so the
+	// test suite stays fast; benchmarks run full size.
+	Quick bool
+	// Seed drives all randomness; defaults to 1.
+	Seed int64
+	// Profiles caches offline profiles across experiments. Optional; a
+	// private cache is used when nil.
+	Profiles map[workload.ModelRef]*profiler.Result
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Profiles == nil {
+		o.Profiles = make(map[workload.ModelRef]*profiler.Result)
+	}
+	return o
+}
+
+// Workload sizing, paper defaults vs quick mode.
+
+func (o Options) clients() int {
+	if o.Quick {
+		return 4
+	}
+	return 10
+}
+
+func (o Options) batches() int {
+	if o.Quick {
+		return 3
+	}
+	return 10
+}
+
+func (o Options) batchSize() int {
+	if o.Quick {
+		return 50
+	}
+	return 100
+}
+
+// scaleBatch shrinks a paper batch size in quick mode.
+func (o Options) scaleBatch(b int) int {
+	if !o.Quick {
+		return b
+	}
+	s := b / 2
+	if s < 10 {
+		s = 10
+	}
+	return s
+}
+
+// quantum is the Q the paper's profiler chose for the 10-client homogeneous
+// and heterogeneous experiments (~1190us at 2.5% tolerance).
+func (o Options) quantum() time.Duration { return 1200 * time.Microsecond }
+
+// complexQuantum is the Q for the 14-client, 7-DNN workload (~1620us at 2%
+// tolerance).
+func (o Options) complexQuantum() time.Duration { return 1620 * time.Microsecond }
+
+// homogeneous builds n identical Inception clients.
+func (o Options) homogeneous(n int) []workload.ClientSpec {
+	clients := make([]workload.ClientSpec, n)
+	for i := range clients {
+		clients[i] = workload.ClientSpec{
+			Model:   model.Inception,
+			Batch:   o.batchSize(),
+			Batches: o.batches(),
+		}
+	}
+	return clients
+}
+
+// defaultSpec is the reference platform for experiments.
+func defaultSpec() gpu.Spec { return gpu.GTX1080Ti }
+
+// ensureProfiles fills the shared cache for the given client set.
+func (o Options) ensureProfiles(clients []workload.ClientSpec, spec gpu.Spec) error {
+	refs := make([]workload.ModelRef, 0, len(clients))
+	for _, c := range clients {
+		refs = append(refs, c.Ref())
+	}
+	return workload.Profile(o.Profiles, refs, spec, o.Seed+900)
+}
+
+// run executes a workload with the shared profile cache.
+func (o Options) run(cfg workload.Config, clients []workload.ClientSpec) (*workload.Result, error) {
+	if cfg.Spec.Name == "" {
+		cfg.Spec = gpu.GTX1080Ti
+	}
+	if cfg.Kind != workload.Vanilla {
+		if err := o.ensureProfiles(clients, cfg.Spec); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Profiles = o.Profiles
+	if cfg.Seed == 0 {
+		cfg.Seed = o.Seed
+	}
+	return workload.Run(cfg, clients)
+}

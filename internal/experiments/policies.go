@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"olympian/internal/core"
+	"olympian/internal/metrics"
+	"olympian/internal/workload"
+)
+
+// Fig17 reproduces Figure 17: weighted fair sharing on the homogeneous
+// workload with weight assignments 2:1 and 10:1. For weights k:1 with equal
+// work, theory predicts heavy jobs finish at (k+1)/2k of the light jobs'
+// time (0.75 for k=2, 0.55 for k=10), which the paper confirms.
+func Fig17(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig17",
+		Title: "Weighted fair sharing: finish times for 2:1 and 10:1 weights",
+		Paper: "heavy/light finish ratio matches (k+1)/2k: 0.75 and 0.55",
+	}
+	n := o.clients()
+	run := func(k int) (*workload.Result, error) {
+		clients := o.homogeneous(n)
+		for i := range clients {
+			if i < n/2 {
+				clients[i].Weight = k
+			} else {
+				clients[i].Weight = 1
+			}
+		}
+		return o.run(workload.Config{
+			Kind:    workload.Olympian,
+			Policy:  core.NewWeightedFair(),
+			Quantum: o.quantum(),
+		}, clients)
+	}
+	r.Headers = []string{"client", "weight(2:1)", "finish(2:1)", "weight(10:1)", "finish(10:1)"}
+	res2, err := run(2)
+	if err != nil {
+		return nil, err
+	}
+	res10, err := run(10)
+	if err != nil {
+		return nil, err
+	}
+	d2, d10 := res2.Finishes.Durations(), res10.Finishes.Durations()
+	for c := 0; c < n; c++ {
+		w2, w10 := 1, 1
+		if c < n/2 {
+			w2, w10 = 2, 10
+		}
+		r.AddRow(fmt.Sprintf("%d", c),
+			fmt.Sprintf("%d", w2), metrics.FormatSeconds(d2[c]),
+			fmt.Sprintf("%d", w10), metrics.FormatSeconds(d10[c]))
+	}
+	ratio := func(d []time.Duration) float64 {
+		heavy := metrics.SummarizeDurations(d[:n/2])
+		light := metrics.SummarizeDurations(d[n/2:])
+		return heavy.Mean / light.Mean
+	}
+	r2, r10 := ratio(d2), ratio(d10)
+	r.AddNote("finish ratio 2:1 = %.2f (theory 0.75); 10:1 = %.2f (theory 0.55)", r2, r10)
+	r.SetMetric("ratio_2_1", r2)
+	r.SetMetric("ratio_10_1", r10)
+	return r, nil
+}
+
+// Fig18 reproduces Figure 18: priority scheduling with ten strictly
+// decreasing priorities (serialized execution) and with two priority tiers
+// (the high tier fair-shares, then the low tier runs).
+func Fig18(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig18",
+		Title: "Priority scheduling: strict 10-level and 2-level priorities",
+		Paper: "strict priorities serialize jobs; tiers fair-share internally",
+	}
+	n := o.clients()
+	run := func(levels int) (*workload.Result, error) {
+		clients := o.homogeneous(n)
+		for i := range clients {
+			if levels >= n {
+				clients[i].Priority = n - i // strictly decreasing
+			} else if i < n/2 {
+				clients[i].Priority = 2
+			} else {
+				clients[i].Priority = 1
+			}
+		}
+		return o.run(workload.Config{
+			Kind:    workload.Olympian,
+			Policy:  core.NewPriority(),
+			Quantum: o.quantum(),
+		}, clients)
+	}
+	strict, err := run(n)
+	if err != nil {
+		return nil, err
+	}
+	twoTier, err := run(2)
+	if err != nil {
+		return nil, err
+	}
+	ds, d2 := strict.Finishes.Durations(), twoTier.Finishes.Durations()
+	r.Headers = []string{"client", "strict-priority", "2-level-priority"}
+	for c := 0; c < n; c++ {
+		r.AddRow(fmt.Sprintf("%d", c), metrics.FormatSeconds(ds[c]), metrics.FormatSeconds(d2[c]))
+	}
+	// Strict priorities: finish times strictly increasing with client id.
+	mono := 1.0
+	for c := 1; c < n; c++ {
+		if ds[c] <= ds[c-1] {
+			mono = 0
+		}
+	}
+	hi := metrics.SummarizeDurations(d2[:n/2])
+	lo := metrics.SummarizeDurations(d2[n/2:])
+	r.AddNote("strict priorities serialized: %v; 2-level: high tier %.2f±%.2fs then low tier %.2f±%.2fs",
+		mono == 1, hi.Mean, hi.Std, lo.Mean, lo.Std)
+	r.SetMetric("strict_serialized", mono)
+	r.SetMetric("tier_gap_s", lo.Mean-hi.Mean)
+	r.SetMetric("high_tier_rel_spread", hi.RelStd())
+	return r, nil
+}
+
+// Fig19 reproduces Figure 19: replacing Olympian's profiled cost
+// accumulation with a plain CPU timer. The paper shows the strawman
+// re-introduces unequal finish times on homogeneous workloads (left) and
+// widely varying per-quantum GPU durations on heterogeneous ones (right).
+func Fig19(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "fig19",
+		Title: "CPU-timer time-slicing strawman (vs profiled GPU usage)",
+		Paper: "wall-clock quanta give unequal finish times and GPU shares",
+	}
+	// Left: homogeneous workload under the wall-clock strawman.
+	homog := o.homogeneous(o.clients())
+	left, err := o.run(workload.Config{Kind: workload.WallClockSlicing, Quantum: o.quantum()}, homog)
+	if err != nil {
+		return nil, err
+	}
+	// Right: heterogeneous workload; compare per-client GPU durations.
+	het := o.hetClients(o.batchSize())
+	right, err := o.run(workload.Config{Kind: workload.WallClockSlicing, Quantum: o.quantum()}, het)
+	if err != nil {
+		return nil, err
+	}
+	r.Headers = []string{"client", "homog finish", "het model", "het mean GPU/quantum"}
+	dl := left.Finishes.Durations()
+	stats := quantumStats(right, len(het))
+	for c := 0; c < len(homog); c++ {
+		gpuCell := "-"
+		if s, ok := stats[c]; ok && s.N > 0 {
+			gpuCell = fmt.Sprintf("%.0fus", s.Mean)
+		}
+		r.AddRow(fmt.Sprintf("%d", c), metrics.FormatSeconds(dl[c]), het[c].Model, gpuCell)
+	}
+	sl := left.Finishes.Summary()
+	// Spread of mean per-quantum GPU durations across clients.
+	var means []float64
+	for _, s := range stats {
+		if s.N > 0 {
+			means = append(means, s.Mean)
+		}
+	}
+	gs := metrics.Summarize(means)
+	r.AddNote("homogeneous finish spread %.2fx; per-client GPU/quantum spread %.2fx",
+		sl.Spread(), gs.Spread())
+	r.SetMetric("finish_spread", sl.Spread())
+	r.SetMetric("gpu_quantum_spread", gs.Spread())
+	return r, nil
+}

@@ -1,0 +1,105 @@
+// Package experiments reproduces the Olympian paper's evaluation: each
+// exported function regenerates one table or figure, returning a printable
+// report whose rows mirror what the paper plots, plus machine-readable
+// metrics the benchmark harness asserts shape properties on.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report is the printable result of one experiment.
+type Report struct {
+	// ID is the experiment identifier, e.g. "fig11".
+	ID string
+	// Title describes the artifact, e.g. "Fair sharing: finish times".
+	Title string
+	// Paper summarises what the paper reports for this artifact.
+	Paper string
+	// Headers and Rows form the result table.
+	Headers []string
+	Rows    [][]string
+	// Notes carry derived observations (spreads, ratios, chosen Q, ...).
+	Notes []string
+	// Metrics are machine-readable values for benchmark reporting and
+	// shape assertions.
+	Metrics map[string]float64
+}
+
+// SetMetric records a machine-readable metric.
+func (r *Report) SetMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// Metric returns a metric value (zero if absent).
+func (r *Report) Metric(name string) float64 { return r.Metrics[name] }
+
+// AddRow appends a table row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a formatted note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(w, "paper: %s\n", r.Paper)
+	}
+	if len(r.Headers) > 0 {
+		widths := make([]int, len(r.Headers))
+		for i, h := range r.Headers {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		printRow := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				if i < len(widths) {
+					parts[i] = pad(c, widths[i])
+				} else {
+					parts[i] = c
+				}
+			}
+			fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+		}
+		printRow(r.Headers)
+		for _, row := range r.Rows {
+			printRow(row)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "metric: %s = %.4g\n", k, r.Metrics[k])
+		}
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

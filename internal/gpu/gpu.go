@@ -1,0 +1,440 @@
+// Package gpu simulates a GPU device and its driver-level kernel scheduler.
+//
+// The device reproduces the property of real GPU drivers that motivates the
+// Olympian paper: kernels are dispatched with no knowledge of which DNN job
+// they belong to, so concurrent jobs' kernels interleave in driver-chosen
+// order and per-job completion times become unpredictable. Each client
+// session submits on its own stream (FIFO within a stream, as in CUDA); when
+// capacity frees, the driver picks among the stream heads that fit, weighted
+// by an opaque per-stream service bias drawn per run — the stand-in for the
+// hardware/driver scheduling asymmetry behind the paper's Figure 3, where
+// identical jobs finish up to 1.7x apart. A stream whose head kernel does
+// not fit blocks younger submissions from being admitted past it once it is
+// the oldest waiter, so large kernels cannot be starved by streams of small
+// ones.
+//
+// Capacity is modelled as SM occupancy: each kernel occupies a fraction of
+// the device in (0,1], and kernels run concurrently while they fit
+// (large-batch kernels occupy the whole device, which is why the paper finds
+// little room for spatial multiplexing).
+//
+// The device also keeps the paper's accounting primitives: the per-job "GPU
+// duration" (the union of intervals during which at least one of the job's
+// kernels is resident — Figure 5), total busy time for utilization, and
+// device-memory allocation for the scalability experiments.
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"olympian/internal/sim"
+)
+
+// Spec describes a GPU hardware platform.
+type Spec struct {
+	// Name identifies the platform, e.g. "gtx-1080ti".
+	Name string
+	// ClockScale divides kernel durations: 1.0 is the reference platform,
+	// larger is faster.
+	ClockScale float64
+	// Capacity is total SM occupancy, normally 1.0.
+	Capacity float64
+	// LaunchLatency is the driver overhead added to each kernel.
+	LaunchLatency time.Duration
+	// MemoryBytes is usable device memory.
+	MemoryBytes int64
+	// StreamBias is the sigma of the lognormal per-stream service weight
+	// drawn once per (run, stream): the opaque driver scheduling asymmetry.
+	// Zero means all streams are served with equal probability.
+	StreamBias float64
+}
+
+// The two hardware platforms of the paper's evaluation: the primary GeForce
+// GTX 1080 Ti and the NVIDIA Titan X used for the portability experiment
+// (Figure 21).
+var (
+	GTX1080Ti = Spec{
+		Name:          "gtx-1080ti",
+		ClockScale:    1.0,
+		Capacity:      1.0,
+		LaunchLatency: 4 * time.Microsecond,
+		MemoryBytes:   11 << 30,
+		StreamBias:    0.18,
+	}
+	TitanX = Spec{
+		Name:          "titan-x",
+		ClockScale:    0.82,
+		Capacity:      1.0,
+		LaunchLatency: 5 * time.Microsecond,
+		MemoryBytes:   12 << 30,
+		StreamBias:    0.18,
+	}
+)
+
+// Kernel is one unit of GPU work submitted by the middleware.
+type Kernel struct {
+	// Owner is the job the kernel belongs to. The device does not act on
+	// it (the driver is DNN-unaware); it is used only for accounting.
+	Owner int
+	// Stream is the submission stream (one per client session). FIFO order
+	// holds within a stream only.
+	Stream int
+	// Duration is the kernel's reference execution time.
+	Duration time.Duration
+	// Occupancy is the SM fraction required, in (0,1].
+	Occupancy float64
+	// Done fires when the kernel completes.
+	Done *sim.Event
+
+	seq      uint64
+	queuedAt sim.Time
+}
+
+// Stats is a snapshot of device counters.
+type Stats struct {
+	KernelsRun  int
+	TotalBusy   time.Duration
+	QueuePeak   int
+	MemoryInUse int64
+	MemoryPeak  int64
+	ActiveNow   int
+}
+
+// stream is one submission queue.
+type stream struct {
+	id     int
+	queue  []*Kernel
+	weight float64
+}
+
+// Device is a simulated GPU.
+type Device struct {
+	env  *sim.Env
+	spec Spec
+
+	streams     map[int]*stream
+	order       []int // stream ids in first-seen order, for determinism
+	queued      int
+	inUse       float64
+	active      int // kernels in their execution phase
+	outstanding int // kernels dispatched and not yet finished
+	subSeq      uint64
+
+	ownerActive map[int]int
+	ownerStart  map[int]sim.Time
+	ownerBusy   map[int]time.Duration
+	ownerCount  map[int]int
+
+	globalStart sim.Time
+	globalBusy  time.Duration
+	occupancyNs float64 // sum of occupancy * execution time
+
+	// Gang-switch admission barrier: while pending, no new kernels are
+	// dispatched; once the device drains, admission stays closed until
+	// barrierAt.
+	barrierDur time.Duration
+	barrierAt  sim.Time
+
+	memUsed int64
+	stats   Stats
+}
+
+// New returns an idle device with the given spec attached to env.
+func New(env *sim.Env, spec Spec) *Device {
+	if spec.ClockScale <= 0 {
+		spec.ClockScale = 1.0
+	}
+	if spec.Capacity <= 0 {
+		spec.Capacity = 1.0
+	}
+	return &Device{
+		env:         env,
+		spec:        spec,
+		streams:     make(map[int]*stream),
+		ownerActive: make(map[int]int),
+		ownerStart:  make(map[int]sim.Time),
+		ownerBusy:   make(map[int]time.Duration),
+		ownerCount:  make(map[int]int),
+	}
+}
+
+// Spec returns the device's hardware description.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Submit enqueues a kernel on its stream; the driver dispatches it when
+// capacity allows. It returns the kernel's completion event.
+func (d *Device) Submit(k *Kernel) *sim.Event {
+	if k.Done == nil {
+		k.Done = d.env.NewEvent()
+	}
+	if k.Occupancy <= 0 || k.Occupancy > d.spec.Capacity {
+		k.Occupancy = d.spec.Capacity
+	}
+	d.subSeq++
+	k.seq = d.subSeq
+	k.queuedAt = d.env.Now()
+	st := d.streams[k.Stream]
+	if st == nil {
+		st = &stream{id: k.Stream, weight: d.drawWeight()}
+		d.streams[k.Stream] = st
+		d.order = append(d.order, k.Stream)
+	}
+	st.queue = append(st.queue, k)
+	d.queued++
+	if d.queued > d.stats.QueuePeak {
+		d.stats.QueuePeak = d.queued
+	}
+	d.pump()
+	return k.Done
+}
+
+// drawWeight samples the stream's service weight.
+func (d *Device) drawWeight() float64 {
+	if d.spec.StreamBias <= 0 {
+		return 1
+	}
+	return math.Exp(d.env.Rand().NormFloat64() * d.spec.StreamBias)
+}
+
+// SwitchBarrier models the cost of a gang switch at the device: kernels
+// already running finish normally (the paper's overflow, Figures 10/15),
+// but no new kernels are admitted until the device has drained and a
+// further `dur` of switch time has elapsed. Calling it again before the
+// previous barrier resolves restarts the barrier.
+func (d *Device) SwitchBarrier(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	d.barrierDur = dur
+	d.barrierAt = 0
+	if d.outstanding == 0 {
+		d.armBarrier()
+	}
+}
+
+// armBarrier starts the post-drain hold and schedules the pump that will
+// reopen admission.
+func (d *Device) armBarrier() {
+	d.barrierAt = d.env.Now().Add(d.barrierDur)
+	d.env.Schedule(d.barrierDur, func() { d.pump() })
+}
+
+// barrierClosed reports whether the admission barrier currently blocks
+// dispatch, clearing it once it has expired.
+func (d *Device) barrierClosed() bool {
+	if d.barrierDur == 0 {
+		return false
+	}
+	if d.barrierAt == 0 {
+		return true // draining
+	}
+	if d.env.Now() < d.barrierAt {
+		return true // holding
+	}
+	d.barrierDur = 0
+	d.barrierAt = 0
+	return false
+}
+
+// maxBypassWait bounds how long younger kernels may be dispatched past an
+// older kernel that does not fit. Within the window, small kernels from
+// other streams keep flowing around a draining full-occupancy kernel (the
+// driver's spatial multiplexing); past it, admission stops so large kernels
+// cannot be starved.
+const maxBypassWait = 200 * time.Microsecond
+
+// pump dispatches queued kernels: pick among fitting stream heads with
+// probability proportional to stream weight, subject to the bypass window
+// around the oldest waiting kernel.
+func (d *Device) pump() {
+	const eps = 1e-9
+	if d.barrierClosed() {
+		return
+	}
+	for {
+		var oldest *stream
+		for _, id := range d.order {
+			st := d.streams[id]
+			if len(st.queue) == 0 {
+				continue
+			}
+			if oldest == nil || st.queue[0].seq < oldest.queue[0].seq {
+				oldest = st
+			}
+		}
+		if oldest == nil {
+			return
+		}
+		head := oldest.queue[0]
+		if d.inUse+head.Occupancy > d.spec.Capacity+eps &&
+			d.env.Now().Sub(head.queuedAt) >= maxBypassWait {
+			return // age barrier: wait for drain
+		}
+		// Candidates: stream heads that fit.
+		var cands []*stream
+		total := 0.0
+		for _, id := range d.order {
+			st := d.streams[id]
+			if len(st.queue) == 0 {
+				continue
+			}
+			if d.inUse+st.queue[0].Occupancy <= d.spec.Capacity+eps {
+				cands = append(cands, st)
+				total += st.weight
+			}
+		}
+		if len(cands) == 0 {
+			return // within the bypass window but nothing fits yet
+		}
+		pick := cands[0]
+		if len(cands) > 1 {
+			r := d.env.Rand().Float64() * total
+			for _, st := range cands {
+				r -= st.weight
+				if r < 0 {
+					pick = st
+					break
+				}
+			}
+		}
+		k := pick.queue[0]
+		pick.queue = pick.queue[1:]
+		d.queued--
+		d.begin(k)
+	}
+}
+
+// begin reserves capacity and starts the kernel's launch phase. The SM
+// slot is held from dispatch, but busy time (and hence GPU duration and
+// utilization) counts only execution: the launch latency is idle time the
+// GPU spends waiting on the driver, one of the paper's utilization sinks.
+func (d *Device) begin(k *Kernel) {
+	d.inUse += k.Occupancy
+	d.outstanding++
+	d.stats.KernelsRun++
+	d.ownerCount[k.Owner]++
+	d.env.Schedule(d.spec.LaunchLatency, func() { d.execStart(k) })
+}
+
+func (d *Device) execStart(k *Kernel) {
+	now := d.env.Now()
+	d.occupancyNs += k.Occupancy * float64(k.Duration) / d.spec.ClockScale
+	d.active++
+	if d.active == 1 {
+		d.globalStart = now
+	}
+	if d.ownerActive[k.Owner] == 0 {
+		d.ownerStart[k.Owner] = now
+	}
+	d.ownerActive[k.Owner]++
+	d.env.Schedule(time.Duration(float64(k.Duration)/d.spec.ClockScale), func() { d.finish(k) })
+}
+
+func (d *Device) finish(k *Kernel) {
+	now := d.env.Now()
+	d.inUse -= k.Occupancy
+	if d.inUse < 0 {
+		d.inUse = 0
+	}
+	d.active--
+	d.outstanding--
+	if d.active == 0 {
+		d.globalBusy += now.Sub(d.globalStart)
+	}
+	d.ownerActive[k.Owner]--
+	if d.ownerActive[k.Owner] == 0 {
+		d.ownerBusy[k.Owner] += now.Sub(d.ownerStart[k.Owner])
+	}
+	if d.outstanding == 0 && d.barrierDur > 0 && d.barrierAt == 0 {
+		d.armBarrier()
+	}
+	k.Done.Trigger()
+	d.pump()
+}
+
+// OwnerBusy returns job owner's accumulated GPU duration (the Figure 5
+// union of busy intervals), including any interval still open.
+func (d *Device) OwnerBusy(owner int) time.Duration {
+	busy := d.ownerBusy[owner]
+	if d.ownerActive[owner] > 0 {
+		busy += d.env.Now().Sub(d.ownerStart[owner])
+	}
+	return busy
+}
+
+// OwnerKernels returns how many kernels owner has completed or started.
+func (d *Device) OwnerKernels(owner int) int { return d.ownerCount[owner] }
+
+// ActiveKernels returns the number of owner's kernels currently resident —
+// nonzero for a job that has just been switched out means quantum overflow
+// (Figure 15).
+func (d *Device) ActiveKernels(owner int) int { return d.ownerActive[owner] }
+
+// StreamWeight returns the service weight drawn for a stream (1.0 before
+// the stream's first submission).
+func (d *Device) StreamWeight(streamID int) float64 {
+	if st := d.streams[streamID]; st != nil {
+		return st.weight
+	}
+	return 1
+}
+
+// OccupancyTime returns accumulated SM occupancy-time: the integral of
+// kernel occupancy over execution time. OccupancyTime/elapsed is the SM
+// efficiency — unlike busy-union utilization it exposes capacity wasted by
+// running low-occupancy kernels exclusively.
+func (d *Device) OccupancyTime() time.Duration { return time.Duration(d.occupancyNs) }
+
+// TotalBusy returns the union of all busy intervals so far, including any
+// open interval. Utilization over a window is TotalBusy delta / wall delta.
+func (d *Device) TotalBusy() time.Duration {
+	busy := d.globalBusy
+	if d.active > 0 {
+		busy += d.env.Now().Sub(d.globalStart)
+	}
+	return busy
+}
+
+// QueueLen returns the number of kernels waiting for dispatch.
+func (d *Device) QueueLen() int { return d.queued }
+
+// Active returns the number of kernels currently resident.
+func (d *Device) Active() int { return d.active }
+
+// Alloc reserves device memory, failing when the device is full.
+func (d *Device) Alloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("gpu %s: negative allocation %d", d.spec.Name, bytes)
+	}
+	if d.memUsed+bytes > d.spec.MemoryBytes {
+		return fmt.Errorf("gpu %s: out of memory: %d in use, %d requested, %d total",
+			d.spec.Name, d.memUsed, bytes, d.spec.MemoryBytes)
+	}
+	d.memUsed += bytes
+	if d.memUsed > d.stats.MemoryPeak {
+		d.stats.MemoryPeak = d.memUsed
+	}
+	return nil
+}
+
+// Free releases device memory.
+func (d *Device) Free(bytes int64) {
+	d.memUsed -= bytes
+	if d.memUsed < 0 {
+		d.memUsed = 0
+	}
+}
+
+// MemoryInUse returns current device-memory usage.
+func (d *Device) MemoryInUse() int64 { return d.memUsed }
+
+// Stats returns a snapshot of device counters.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	s.TotalBusy = d.TotalBusy()
+	s.MemoryInUse = d.memUsed
+	s.ActiveNow = d.active
+	return s
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection. GPU
+// nodes are drawn as boxes, CPU nodes as ellipses; to keep large graphs
+// viewable, per-image chains beyond maxNodes are elided with a summary
+// node.
+func (g *Graph) WriteDOT(w io.Writer, maxNodes int) error {
+	if maxNodes <= 0 {
+		maxNodes = 400
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Model)
+	fmt.Fprintf(&b, "  rankdir=TB;\n  node [fontsize=9];\n")
+	elided := 0
+	for _, n := range g.Nodes {
+		if n.ID >= maxNodes {
+			elided++
+			continue
+		}
+		shape := "ellipse"
+		if n.IsGPU() {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%v\" shape=%s];\n", n.ID, n.Op, n.Duration, shape)
+		for _, c := range n.Children {
+			if c.ID < maxNodes {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", n.ID, c.ID)
+			}
+		}
+	}
+	if elided > 0 {
+		fmt.Fprintf(&b, "  elided [label=\"… %d more nodes\" shape=plaintext];\n", elided)
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,242 @@
+// Package metrics provides the summary statistics and recording structures
+// the evaluation harness uses: finish-time records, per-quantum GPU
+// durations, scheduling-interval logs, CDFs, and utilization aggregation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// RelStd returns the standard deviation as a fraction of the mean (the
+// paper reports per-quantum duration spread this way, e.g. "4.9% to 10.1%").
+func (s Summary) RelStd() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
+// Spread returns Max/Min — the paper's headline unpredictability metric
+// ("finish times can differ by up to 1.7x").
+func (s Summary) Spread() float64 {
+	if s.Min == 0 {
+		return math.Inf(1)
+	}
+	return s.Max / s.Min
+}
+
+// DurationsToSeconds converts durations to float seconds.
+func DurationsToSeconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// DurationsToMicros converts durations to float microseconds.
+func DurationsToMicros(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Microsecond)
+	}
+	return out
+}
+
+// SummarizeDurations summarizes durations in seconds.
+func SummarizeDurations(ds []time.Duration) Summary {
+	return Summarize(DurationsToSeconds(ds))
+}
+
+// Quantile returns the q-quantile (0..1) of xs by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CDFPoint is one (value, cumulative fraction) pair.
+type CDFPoint struct {
+	Value float64
+	Frac  float64
+}
+
+// CDF returns the empirical CDF of xs.
+func CDF(xs []float64) []CDFPoint {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Frac: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of xs strictly below threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FinishRecord is one client's completion time.
+type FinishRecord struct {
+	Client int
+	Model  string
+	Finish time.Duration
+}
+
+// FinishSet aggregates per-client finish times for one run.
+type FinishSet struct {
+	Label   string
+	Records []FinishRecord
+}
+
+// Add appends a record.
+func (f *FinishSet) Add(client int, model string, finish time.Duration) {
+	f.Records = append(f.Records, FinishRecord{Client: client, Model: model, Finish: finish})
+}
+
+// Durations returns the finish times in client order.
+func (f *FinishSet) Durations() []time.Duration {
+	sorted := append([]FinishRecord(nil), f.Records...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Client < sorted[j].Client })
+	out := make([]time.Duration, len(sorted))
+	for i, r := range sorted {
+		out[i] = r.Finish
+	}
+	return out
+}
+
+// Summary summarizes the finish times in seconds.
+func (f *FinishSet) Summary() Summary { return SummarizeDurations(f.Durations()) }
+
+// ByModel groups finish durations by model name.
+func (f *FinishSet) ByModel() map[string][]time.Duration {
+	out := make(map[string][]time.Duration)
+	for _, r := range f.Records {
+		out[r.Model] = append(out[r.Model], r.Finish)
+	}
+	return out
+}
+
+// QuantumLog records per-quantum GPU durations per client (Figures 14/16)
+// and the wall durations of scheduling intervals (Figure 12).
+type QuantumLog struct {
+	perClient map[int][]time.Duration
+	intervals []time.Duration
+}
+
+// NewQuantumLog returns an empty log.
+func NewQuantumLog() *QuantumLog {
+	return &QuantumLog{perClient: make(map[int][]time.Duration)}
+}
+
+// AddQuantum records one quantum's GPU duration for a client.
+func (q *QuantumLog) AddQuantum(client int, gpuDur time.Duration) {
+	q.perClient[client] = append(q.perClient[client], gpuDur)
+}
+
+// AddInterval records the wall duration of one scheduling interval.
+func (q *QuantumLog) AddInterval(d time.Duration) {
+	q.intervals = append(q.intervals, d)
+}
+
+// Clients returns the client ids with recorded quanta, sorted.
+func (q *QuantumLog) Clients() []int {
+	out := make([]int, 0, len(q.perClient))
+	for c := range q.perClient {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ClientQuanta returns the recorded quanta for one client.
+func (q *QuantumLog) ClientQuanta(client int) []time.Duration { return q.perClient[client] }
+
+// ClientSummary summarizes a client's per-quantum GPU durations in
+// microseconds.
+func (q *QuantumLog) ClientSummary(client int) Summary {
+	return Summarize(DurationsToMicros(q.perClient[client]))
+}
+
+// Intervals returns the scheduling-interval durations.
+func (q *QuantumLog) Intervals() []time.Duration { return q.intervals }
+
+// IntervalSummary summarizes scheduling-interval durations in seconds.
+func (q *QuantumLog) IntervalSummary() Summary {
+	return SummarizeDurations(q.intervals)
+}
+
+// FormatSeconds renders a duration in seconds with two decimals, the
+// paper's finish-time format.
+func FormatSeconds(d time.Duration) string { return fmt.Sprintf("%.2fs", d.Seconds()) }
+
+// FormatMicros renders a duration in whole microseconds.
+func FormatMicros(d time.Duration) string {
+	return fmt.Sprintf("%dus", d.Microseconds())
+}

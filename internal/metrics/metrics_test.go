@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample standard deviation of 1..4 is sqrt(5/3).
+	if want := math.Sqrt(5.0 / 3.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v, want %v", s.Std, want)
+	}
+	if got := s.Spread(); got != 4 {
+		t.Fatalf("spread %v", got)
+	}
+	if got := s.RelStd(); math.Abs(got-s.Std/2.5) > 1e-12 {
+		t.Fatalf("rel std %v", got)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Std != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestSpreadWithZeroMin(t *testing.T) {
+	s := Summarize([]float64{0, 5})
+	if !math.IsInf(s.Spread(), 1) {
+		t.Fatalf("spread with zero min = %v, want +Inf", s.Spread())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 2.5 {
+		t.Fatalf("median = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty should be NaN")
+	}
+}
+
+func TestCDFAndFractionBelow(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	cdf := CDF(xs)
+	if len(cdf) != 3 || cdf[0].Value != 1 || cdf[2].Frac != 1.0 {
+		t.Fatalf("cdf %+v", cdf)
+	}
+	if f := FractionBelow(xs, 2.5); math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Fatalf("fraction below 2.5 = %v", f)
+	}
+	if f := FractionBelow(nil, 1); f != 0 {
+		t.Fatalf("fraction of empty = %v", f)
+	}
+}
+
+func TestFinishSetOrderingAndGrouping(t *testing.T) {
+	var fs FinishSet
+	fs.Add(2, "b", 20*time.Second)
+	fs.Add(0, "a", 10*time.Second)
+	fs.Add(1, "b", 30*time.Second)
+	durs := fs.Durations()
+	want := []time.Duration{10 * time.Second, 30 * time.Second, 20 * time.Second}
+	for i := range want {
+		if durs[i] != want[i] {
+			t.Fatalf("durations %v", durs)
+		}
+	}
+	byModel := fs.ByModel()
+	if len(byModel["b"]) != 2 || len(byModel["a"]) != 1 {
+		t.Fatalf("byModel %v", byModel)
+	}
+	if s := fs.Summary(); s.N != 3 || s.Max != 30 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestQuantumLog(t *testing.T) {
+	q := NewQuantumLog()
+	q.AddQuantum(1, 1000*time.Microsecond)
+	q.AddQuantum(1, 1400*time.Microsecond)
+	q.AddQuantum(0, 1200*time.Microsecond)
+	q.AddInterval(2 * time.Millisecond)
+	if clients := q.Clients(); len(clients) != 2 || clients[0] != 0 {
+		t.Fatalf("clients %v", clients)
+	}
+	s := q.ClientSummary(1)
+	if s.N != 2 || s.Mean != 1200 {
+		t.Fatalf("client summary %+v", s)
+	}
+	if got := q.IntervalSummary(); got.N != 1 {
+		t.Fatalf("interval summary %+v", got)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := FormatSeconds(1500 * time.Millisecond); got != "1.50s" {
+		t.Fatalf("FormatSeconds = %q", got)
+	}
+	if got := FormatMicros(1500 * time.Microsecond); got != "1500us" {
+		t.Fatalf("FormatMicros = %q", got)
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(raw, q)
+			if v < prev-1e-9 || v < sorted[0]-1e-9 || v > sorted[len(sorted)-1]+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize mean is bounded by min and max.
+func TestPropertySummaryBounds(t *testing.T) {
+	prop := func(raw []float64) bool {
+		for _, x := range raw {
+			// Skip values whose sums overflow float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		s := Summarize(raw)
+		if s.N == 0 {
+			return true
+		}
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package planner predicts serving outcomes analytically, without running
+// the simulation: under Olympian's fine-grained time-slicing, the GPU
+// behaves as a (weighted) processor-sharing server over each job's profiled
+// GPU demand, so finish times follow from a fluid model. Operators can use
+// it for what-if capacity questions ("when would these ten clients finish
+// under 2:1 weights?"), and the test suite uses it as an independent check
+// that the scheduler implements its policies correctly.
+package planner
+
+import (
+	"fmt"
+	"time"
+)
+
+// Job is one client's aggregate GPU demand.
+type Job struct {
+	// ID identifies the job in the output (use the client index).
+	ID int
+	// Demand is the total GPU time the client needs (batches x per-batch
+	// solo GPU duration D_j).
+	Demand time.Duration
+	// Weight is the weighted-fair share (>=1).
+	Weight int
+	// Priority orders strict tiers (higher first); used by PolicyPriority.
+	Priority int
+	// Arrive is when the client starts.
+	Arrive time.Duration
+}
+
+// Policy selects the sharing discipline of the fluid model.
+type Policy int
+
+// Fluid-model policies.
+const (
+	// PolicyFair shares the GPU equally among active jobs.
+	PolicyFair Policy = iota + 1
+	// PolicyWeighted shares proportionally to job weights.
+	PolicyWeighted
+	// PolicyPriority serves the highest-priority tier exclusively, sharing
+	// equally inside the tier.
+	PolicyPriority
+)
+
+// Prediction is the fluid-model outcome for one job.
+type Prediction struct {
+	ID     int
+	Finish time.Duration
+}
+
+// PredictFinishTimes runs the fluid model to completion and returns each
+// job's predicted finish time, in the order the jobs were given.
+func PredictFinishTimes(jobs []Job, policy Policy) ([]Prediction, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("planner: no jobs")
+	}
+	type state struct {
+		Job
+		remaining float64 // seconds of GPU demand left
+		finish    float64
+		done      bool
+	}
+	states := make([]*state, len(jobs))
+	for i, j := range jobs {
+		if j.Demand <= 0 {
+			return nil, fmt.Errorf("planner: job %d has no demand", j.ID)
+		}
+		w := j.Weight
+		if w < 1 {
+			w = 1
+		}
+		jj := j
+		jj.Weight = w
+		states[i] = &state{Job: jj, remaining: j.Demand.Seconds()}
+	}
+
+	now := 0.0
+	for {
+		// Active set: arrived, not finished.
+		var active []*state
+		for _, s := range states {
+			if !s.done && s.Arrive.Seconds() <= now+1e-12 {
+				active = append(active, s)
+			}
+		}
+		// Next arrival after now.
+		nextArrival := -1.0
+		for _, s := range states {
+			if !s.done && s.Arrive.Seconds() > now+1e-12 {
+				if nextArrival < 0 || s.Arrive.Seconds() < nextArrival {
+					nextArrival = s.Arrive.Seconds()
+				}
+			}
+		}
+		if len(active) == 0 {
+			if nextArrival < 0 {
+				break // all done
+			}
+			now = nextArrival
+			continue
+		}
+		rates := make([]float64, len(active))
+		switch policy {
+		case PolicyWeighted:
+			total := 0
+			for _, s := range active {
+				total += s.Weight
+			}
+			for i, s := range active {
+				rates[i] = float64(s.Weight) / float64(total)
+			}
+		case PolicyPriority:
+			top := active[0].Priority
+			for _, s := range active {
+				if s.Priority > top {
+					top = s.Priority
+				}
+			}
+			tier := 0
+			for _, s := range active {
+				if s.Priority == top {
+					tier++
+				}
+			}
+			for i, s := range active {
+				if s.Priority == top {
+					rates[i] = 1 / float64(tier)
+				}
+			}
+		default: // PolicyFair
+			for i := range active {
+				rates[i] = 1 / float64(len(active))
+			}
+		}
+		// Time to the first completion at current rates.
+		dt := -1.0
+		for i, s := range active {
+			if rates[i] <= 0 {
+				continue
+			}
+			d := s.remaining / rates[i]
+			if dt < 0 || d < dt {
+				dt = d
+			}
+		}
+		if dt < 0 {
+			return nil, fmt.Errorf("planner: no progress at t=%.3fs", now)
+		}
+		// Stop at the next arrival if it comes first.
+		if nextArrival > 0 && nextArrival-now < dt {
+			dt = nextArrival - now
+		}
+		for i, s := range active {
+			s.remaining -= rates[i] * dt
+		}
+		now += dt
+		for _, s := range active {
+			if !s.done && s.remaining <= 1e-9 {
+				s.done = true
+				s.finish = now
+			}
+		}
+	}
+
+	out := make([]Prediction, len(states))
+	for i, s := range states {
+		out[i] = Prediction{ID: s.ID, Finish: time.Duration(s.finish * float64(time.Second))}
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package planner
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"olympian/internal/core"
+	"olympian/internal/model"
+	"olympian/internal/profiler"
+	"olympian/internal/workload"
+)
+
+func sec(f float64) time.Duration { return time.Duration(f * float64(time.Second)) }
+
+func TestFairFluidModel(t *testing.T) {
+	// Four equal jobs of 1s each: all finish at 4s.
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Demand: time.Second}
+	}
+	preds, err := PredictFinishTimes(jobs, PolicyFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		if d := (p.Finish - 4*time.Second).Abs(); d > time.Millisecond {
+			t.Fatalf("job %d finish %v, want 4s", p.ID, p.Finish)
+		}
+	}
+}
+
+func TestWeightedFluidMatchesPaperTheory(t *testing.T) {
+	// Weights k:1 with equal work: heavy finishes at (k+1)/2k of light.
+	jobs := []Job{
+		{ID: 0, Demand: time.Second, Weight: 2},
+		{ID: 1, Demand: time.Second, Weight: 2},
+		{ID: 2, Demand: time.Second, Weight: 1},
+		{ID: 3, Demand: time.Second, Weight: 1},
+	}
+	preds, err := PredictFinishTimes(jobs, PolicyWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := preds[0].Finish.Seconds() / preds[2].Finish.Seconds()
+	if math.Abs(ratio-0.75) > 0.01 {
+		t.Fatalf("heavy/light ratio %.3f, want 0.75", ratio)
+	}
+	// Work conservation: last finish = total demand.
+	if d := (preds[2].Finish - 4*time.Second).Abs(); d > time.Millisecond {
+		t.Fatalf("light finish %v, want 4s", preds[2].Finish)
+	}
+}
+
+func TestPriorityFluidSerializesTiers(t *testing.T) {
+	jobs := []Job{
+		{ID: 0, Demand: time.Second, Priority: 2},
+		{ID: 1, Demand: time.Second, Priority: 2},
+		{ID: 2, Demand: time.Second, Priority: 1},
+	}
+	preds, err := PredictFinishTimes(jobs, PolicyPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := (preds[0].Finish - 2*time.Second).Abs(); d > time.Millisecond {
+		t.Fatalf("high tier finish %v, want 2s", preds[0].Finish)
+	}
+	if d := (preds[2].Finish - 3*time.Second).Abs(); d > time.Millisecond {
+		t.Fatalf("low tier finish %v, want 3s", preds[2].Finish)
+	}
+}
+
+func TestArrivalsChangeShares(t *testing.T) {
+	jobs := []Job{
+		{ID: 0, Demand: time.Second},
+		{ID: 1, Demand: time.Second, Arrive: sec(1)},
+	}
+	preds, err := PredictFinishTimes(jobs, PolicyFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 0 runs alone for 1s (done at... it finishes exactly at 1s as
+	// job 1 arrives), job 1 then runs alone until 2s.
+	if d := (preds[0].Finish - time.Second).Abs(); d > time.Millisecond {
+		t.Fatalf("job 0 finish %v", preds[0].Finish)
+	}
+	if d := (preds[1].Finish - 2*time.Second).Abs(); d > time.Millisecond {
+		t.Fatalf("job 1 finish %v", preds[1].Finish)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	if _, err := PredictFinishTimes(nil, PolicyFair); err == nil {
+		t.Fatal("expected error for empty job set")
+	}
+	if _, err := PredictFinishTimes([]Job{{ID: 0}}, PolicyFair); err == nil {
+		t.Fatal("expected error for zero demand")
+	}
+}
+
+// Property: the fluid model is work-conserving — with all arrivals at zero
+// the last finish equals the total demand, and no job finishes before its
+// own demand.
+func TestPropertyWorkConservation(t *testing.T) {
+	prop := func(raw []uint16, weighted bool) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		var jobs []Job
+		var total time.Duration
+		for i, r := range raw {
+			d := time.Duration(r%2000+1) * time.Millisecond
+			total += d
+			jobs = append(jobs, Job{ID: i, Demand: d, Weight: int(r%3) + 1})
+		}
+		policy := PolicyFair
+		if weighted {
+			policy = PolicyWeighted
+		}
+		preds, err := PredictFinishTimes(jobs, policy)
+		if err != nil {
+			return false
+		}
+		var last time.Duration
+		for i, p := range preds {
+			if p.Finish < jobs[i].Demand-time.Millisecond {
+				return false
+			}
+			if p.Finish > last {
+				last = p.Finish
+			}
+		}
+		return (last - total).Abs() < 2*time.Millisecond
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The planner's predictions should match the discrete-event simulation
+// within a few percent — the fluid model is the scheduler's spec.
+func TestPlannerMatchesSimulation(t *testing.T) {
+	clients := []workload.ClientSpec{
+		{Model: model.Inception, Batch: 50, Batches: 3, Weight: 2},
+		{Model: model.Inception, Batch: 50, Batches: 3, Weight: 2},
+		{Model: model.Inception, Batch: 50, Batches: 3, Weight: 1},
+		{Model: model.Inception, Batch: 50, Batches: 3, Weight: 1},
+	}
+	g, err := model.Build(model.Inception, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profiler.ProfileSolo(g, profiler.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for i, c := range clients {
+		jobs = append(jobs, Job{
+			ID:     i,
+			Demand: time.Duration(c.Batches) * prof.GPUDuration,
+			Weight: c.Weight,
+		})
+	}
+	preds, err := PredictFinishTimes(jobs, PolicyWeighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := workload.Run(workload.Config{
+		Seed: 1, Kind: workload.Olympian, Policy: core.NewWeightedFair(),
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simFins := simRes.Finishes.Durations()
+	for i, p := range preds {
+		relErr := math.Abs(p.Finish.Seconds()-simFins[i].Seconds()) / simFins[i].Seconds()
+		if relErr > 0.10 {
+			t.Errorf("client %d: predicted %v, simulated %v (%.0f%% off)",
+				i, p.Finish.Round(time.Millisecond), simFins[i].Round(time.Millisecond), relErr*100)
+		}
+	}
+}

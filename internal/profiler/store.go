@@ -1,0 +1,93 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// storeVersion guards the on-disk profile format.
+const storeVersion = 1
+
+// storedProfile is the JSON form of a Result.
+type storedProfile struct {
+	Version       int     `json:"version"`
+	Model         string  `json:"model"`
+	Batch         int     `json:"batch"`
+	GPU           string  `json:"gpu"`
+	NodeCostNs    []int64 `json:"nodeCostNs"`
+	TotalCostNs   int64   `json:"totalCostNs"`
+	GPUDurationNs int64   `json:"gpuDurationNs"`
+	RuntimeNs     int64   `json:"runtimeNs"`
+}
+
+// WriteFile persists the profile as JSON at path, creating parent
+// directories as needed. gpuName records the platform the profile was
+// taken on; profiles are platform-specific and must not be mixed.
+func (r *Result) WriteFile(path, gpuName string) error {
+	sp := storedProfile{
+		Version:       storeVersion,
+		Model:         r.Model,
+		Batch:         r.Batch,
+		GPU:           gpuName,
+		NodeCostNs:    make([]int64, len(r.NodeCost)),
+		TotalCostNs:   int64(r.TotalCost),
+		GPUDurationNs: int64(r.GPUDuration),
+		RuntimeNs:     int64(r.Runtime),
+	}
+	for i, c := range r.NodeCost {
+		sp.NodeCostNs[i] = int64(c)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("profile store: %w", err)
+		}
+	}
+	data, err := json.Marshal(sp)
+	if err != nil {
+		return fmt.Errorf("profile store: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("profile store: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads a profile written by WriteFile, returning the profile and
+// the GPU platform name it was taken on.
+func ReadFile(path string) (*Result, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("profile store: %w", err)
+	}
+	var sp storedProfile
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return nil, "", fmt.Errorf("profile store: decode %s: %w", path, err)
+	}
+	if sp.Version != storeVersion {
+		return nil, "", fmt.Errorf("profile store: %s has version %d, want %d", path, sp.Version, storeVersion)
+	}
+	if sp.Model == "" || sp.Batch <= 0 || len(sp.NodeCostNs) == 0 {
+		return nil, "", fmt.Errorf("profile store: %s is incomplete", path)
+	}
+	r := &Result{
+		Model:       sp.Model,
+		Batch:       sp.Batch,
+		NodeCost:    make([]time.Duration, len(sp.NodeCostNs)),
+		TotalCost:   time.Duration(sp.TotalCostNs),
+		GPUDuration: time.Duration(sp.GPUDurationNs),
+		Runtime:     time.Duration(sp.RuntimeNs),
+	}
+	for i, c := range sp.NodeCostNs {
+		r.NodeCost[i] = time.Duration(c)
+	}
+	return r, sp.GPU, nil
+}
+
+// StorePath returns the conventional location for a profile inside dir:
+// <dir>/<gpu>/<model>-b<batch>.json.
+func StorePath(dir, gpuName, modelName string, batch int) string {
+	return filepath.Join(dir, gpuName, fmt.Sprintf("%s-b%d.json", modelName, batch))
+}

@@ -1,0 +1,85 @@
+package profiler
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"olympian/internal/graph"
+	"olympian/internal/model"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	g := mustBuildStore(t, model.ResNet152, 30)
+	orig, err := ProfileSolo(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := StorePath(dir, "gtx-1080ti", orig.Model, orig.Batch)
+	if err := orig.WriteFile(path, "gtx-1080ti"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gpuName, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpuName != "gtx-1080ti" {
+		t.Fatalf("gpu %q", gpuName)
+	}
+	if loaded.Model != orig.Model || loaded.Batch != orig.Batch {
+		t.Fatalf("identity mismatch: %s/%d", loaded.Model, loaded.Batch)
+	}
+	if loaded.TotalCost != orig.TotalCost || loaded.GPUDuration != orig.GPUDuration || loaded.Runtime != orig.Runtime {
+		t.Fatal("aggregate fields did not round-trip")
+	}
+	if len(loaded.NodeCost) != len(orig.NodeCost) {
+		t.Fatalf("node cost length %d vs %d", len(loaded.NodeCost), len(orig.NodeCost))
+	}
+	for i := range orig.NodeCost {
+		if loaded.NodeCost[i] != orig.NodeCost[i] {
+			t.Fatalf("node %d cost mismatch", i)
+		}
+	}
+	// The loaded profile must drive the same threshold.
+	if loaded.Threshold(1200000) != orig.Threshold(1200000) {
+		t.Fatal("threshold diverged after round trip")
+	}
+}
+
+func TestReadFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(bad); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected not-found error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"version":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(empty); err == nil {
+		t.Fatal("expected incomplete-profile error")
+	}
+	wrongVer := filepath.Join(dir, "ver.json")
+	if err := os.WriteFile(wrongVer, []byte(`{"version":99,"model":"x","batch":1,"nodeCostNs":[1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(wrongVer); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func mustBuildStore(t *testing.T, name string, batch int) *graph.Graph {
+	t.Helper()
+	g, err := model.Build(name, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,287 @@
+// Package serving implements the request-level front-end of the model
+// server: clients submit individual inference requests; a per-model batcher
+// groups them into input batches (TF-Serving's batching layer, paper §2),
+// and each batch becomes one Session::Run job on the execution engine.
+//
+// This is the piece that turns the paper's "client submits 10 batches"
+// workload abstraction into an actual serving system: open-loop request
+// arrivals, bounded batch sizes, flush timeouts, and per-request latency
+// accounting.
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"olympian/internal/core"
+	"olympian/internal/executor"
+	"olympian/internal/gpu"
+	"olympian/internal/graph"
+	"olympian/internal/metrics"
+	"olympian/internal/model"
+	"olympian/internal/profiler"
+	"olympian/internal/sim"
+)
+
+// Request is one inference request for a single input.
+type Request struct {
+	// ID is the request's arrival index.
+	ID int
+	// Model is the target model name.
+	Model string
+	// ArriveAt is when the request entered the server.
+	ArriveAt sim.Time
+	// BatchedAt is when the batcher dispatched the request's batch.
+	BatchedAt sim.Time
+	// FinishAt is when the batch completed.
+	FinishAt sim.Time
+	// BatchSize is the size of the batch the request rode in.
+	BatchSize int
+
+	done *sim.Event
+}
+
+// Latency returns the request's end-to-end response time.
+func (r *Request) Latency() time.Duration { return time.Duration(r.FinishAt - r.ArriveAt) }
+
+// QueueDelay returns time spent waiting in the batcher.
+func (r *Request) QueueDelay() time.Duration { return time.Duration(r.BatchedAt - r.ArriveAt) }
+
+// Config parameterises a server.
+type Config struct {
+	// Spec is the GPU platform (defaults to GTX1080Ti).
+	Spec gpu.Spec
+	// Scheduler: nil hooks means vanilla TF-Serving; otherwise Olympian.
+	UseOlympian bool
+	// Policy applies when UseOlympian (default fair).
+	Policy core.Policy
+	// Quantum is Q for Olympian runs.
+	Quantum time.Duration
+	// MaxBatch caps the batch size (default 32).
+	MaxBatch int
+	// BatchTimeout flushes a non-full batch once its oldest request has
+	// waited this long (default 10ms).
+	BatchTimeout time.Duration
+	// Seed drives randomness.
+	Seed int64
+	// Jitter is node-duration noise (default 0.03).
+	Jitter float64
+}
+
+// Stats summarises a server's activity.
+type Stats struct {
+	Requests      int
+	Batches       int
+	MeanBatchSize float64
+	// Latency quantiles in seconds.
+	P50, P95, P99 float64
+	// Utilization of the device over the run.
+	Utilization float64
+}
+
+// Server couples the batcher with an execution engine inside a simulation
+// environment.
+type Server struct {
+	env   *sim.Env
+	dev   *gpu.Device
+	eng   *executor.Engine
+	sched *core.Scheduler
+	cfg   Config
+
+	queues   map[string][]*Request
+	flushers map[string]*sim.Cond
+	graphs   map[graphKey]*graph.Graph
+	profiles map[graphKey]*profiler.Result
+
+	requests []*Request
+	batches  int
+	clients  int
+}
+
+type graphKey struct {
+	model string
+	batch int
+}
+
+// NewServer builds a server inside env.
+func NewServer(env *sim.Env, cfg Config) *Server {
+	if cfg.Spec.Name == "" {
+		cfg.Spec = gpu.GTX1080Ti
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = 10 * time.Millisecond
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 1200 * time.Microsecond
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.03
+	}
+	dev := gpu.New(env, cfg.Spec)
+	s := &Server{
+		env:      env,
+		dev:      dev,
+		cfg:      cfg,
+		queues:   make(map[string][]*Request),
+		flushers: make(map[string]*sim.Cond),
+		graphs:   make(map[graphKey]*graph.Graph),
+		profiles: make(map[graphKey]*profiler.Result),
+	}
+	var hooks executor.Hooks = executor.NopHooks{}
+	if cfg.UseOlympian {
+		s.sched = core.New(env, dev, core.Config{
+			Policy: cfg.Policy, Quantum: cfg.Quantum,
+			SwitchCost: core.DefaultSwitchCost,
+		})
+		hooks = s.sched
+	}
+	s.eng = executor.New(env, dev, executor.Config{Jitter: cfg.Jitter}, hooks)
+	return s
+}
+
+// Device exposes the server's GPU for measurement.
+func (s *Server) Device() *gpu.Device { return s.dev }
+
+// Submit enqueues a request from process context and returns it; wait on
+// completion with req.Wait(p).
+func (s *Server) Submit(p *sim.Proc, modelName string) (*Request, error) {
+	if _, err := model.TargetRuntime(modelName, 1); err != nil {
+		return nil, err
+	}
+	req := &Request{
+		ID:       len(s.requests),
+		Model:    modelName,
+		ArriveAt: p.Now(),
+		done:     s.env.NewEvent(),
+	}
+	s.requests = append(s.requests, req)
+	if _, ok := s.flushers[modelName]; !ok {
+		s.startBatcher(modelName)
+	}
+	s.queues[modelName] = append(s.queues[modelName], req)
+	// Wake the batcher: it naps on an empty queue and flushes immediately
+	// once the batch is full.
+	s.flushers[modelName].Broadcast()
+	return req, nil
+}
+
+// Wait blocks p until the request's batch has completed.
+func (r *Request) Wait(p *sim.Proc) { r.done.Wait(p) }
+
+// startBatcher spawns the per-model batching loop: it flushes when the
+// queue is full or the oldest request has waited past the timeout.
+func (s *Server) startBatcher(modelName string) {
+	cond := s.env.NewCond("batcher-" + modelName)
+	s.flushers[modelName] = cond
+	proc := s.env.Go("batcher-"+modelName, func(p *sim.Proc) {
+		for {
+			for len(s.queues[modelName]) == 0 {
+				cond.Wait(p)
+			}
+			for len(s.queues[modelName]) > 0 && len(s.queues[modelName]) < s.cfg.MaxBatch {
+				// Wait out the remaining timeout of the oldest request;
+				// more arrivals during the nap may fill the batch early.
+				oldest := s.queues[modelName][0].ArriveAt
+				remain := s.cfg.BatchTimeout - time.Duration(p.Now()-oldest)
+				if remain <= 0 {
+					break
+				}
+				p.Sleep(remain)
+			}
+			if len(s.queues[modelName]) == 0 {
+				continue
+			}
+			s.flush(modelName)
+		}
+	})
+	proc.SetDaemon(true)
+}
+
+// flush dispatches the queued requests of a model as one batch job.
+func (s *Server) flush(modelName string) {
+	batch := s.queues[modelName]
+	if len(batch) > s.cfg.MaxBatch {
+		batch = batch[:s.cfg.MaxBatch]
+	}
+	s.queues[modelName] = s.queues[modelName][len(batch):]
+	size := len(batch)
+	g, err := s.graphFor(modelName, size)
+	if err != nil {
+		// Unknown models are rejected at Submit; a failure here is a
+		// programming error in the zoo. Fail the batch visibly.
+		panic(fmt.Sprintf("serving: build %s/%d: %v", modelName, size, err))
+	}
+	now := s.env.Now()
+	for _, r := range batch {
+		r.BatchedAt = now
+		r.BatchSize = size
+	}
+	s.batches++
+	s.clients++
+	clientID := s.clients
+	s.env.Go(fmt.Sprintf("batch-%s-%d", modelName, s.batches), func(p *sim.Proc) {
+		job := s.eng.NewJob(clientID, g)
+		s.eng.Run(p, job)
+		for _, r := range batch {
+			r.FinishAt = p.Now()
+			r.done.Trigger()
+		}
+	})
+}
+
+// graphFor caches graphs (and Olympian profiles) per (model, batch size).
+func (s *Server) graphFor(modelName string, batch int) (*graph.Graph, error) {
+	key := graphKey{model: modelName, batch: batch}
+	if g, ok := s.graphs[key]; ok {
+		return g, nil
+	}
+	g, err := model.Build(modelName, batch)
+	if err != nil {
+		return nil, err
+	}
+	s.graphs[key] = g
+	if s.sched != nil {
+		// Profile offline in a side simulation, as the operator would.
+		prof, err := profiler.ProfileSolo(g, profiler.Options{Spec: s.cfg.Spec, Seed: s.cfg.Seed + 77})
+		if err != nil {
+			return nil, err
+		}
+		s.profiles[key] = prof
+		s.sched.SetProfile(g, prof.JobProfile(s.cfg.Quantum))
+	}
+	return g, nil
+}
+
+// Requests returns all requests submitted so far.
+func (s *Server) Requests() []*Request { return s.requests }
+
+// Stats summarises completed requests.
+func (s *Server) Stats() Stats {
+	st := Stats{Requests: len(s.requests), Batches: s.batches}
+	var lats []float64
+	var sizes int
+	for _, r := range s.requests {
+		if r.FinishAt == 0 {
+			continue
+		}
+		lats = append(lats, r.Latency().Seconds())
+		sizes += r.BatchSize
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		st.P50 = metrics.Quantile(lats, 0.50)
+		st.P95 = metrics.Quantile(lats, 0.95)
+		st.P99 = metrics.Quantile(lats, 0.99)
+	}
+	if len(lats) > 0 {
+		st.MeanBatchSize = float64(sizes) / float64(len(lats))
+	}
+	if now := s.env.Now(); now > 0 {
+		st.Utilization = s.dev.TotalBusy().Seconds() / now.Seconds()
+	}
+	return st
+}

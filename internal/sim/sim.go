@@ -1,0 +1,443 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel with goroutine-backed processes.
+//
+// The kernel substitutes for wall-clock concurrency in the Olympian
+// reproduction: simulated CPU threads (Proc) block and resume on the same
+// primitives the paper's middleware uses (sleeps, condition variables,
+// one-shot events), but time is virtual, exactly one process runs at a time,
+// and same-timestamp events fire in a stable (time, sequence) order, so every
+// experiment is reproducible from its seed.
+//
+// Concurrency model: the event loop and all processes pass a single "baton".
+// The loop dispatches a process by signalling its resume channel and then
+// blocks until the process parks again. Process code therefore runs under
+// total mutual exclusion and may freely mutate shared simulation state
+// between blocking points without locks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Duration re-exports time.Duration for virtual intervals.
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the interval between t and u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time as a duration since the start of the run.
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and the
+// set of live processes.
+type Env struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	baton   chan struct{} // signalled by a proc when it parks or exits
+	cur     *Proc
+	live    int // non-daemon procs that have started and not yet exited
+	parked  map[*Proc]string
+	procs   map[*Proc]struct{}
+	procSeq int
+
+	stopped bool
+	limit   Time // 0 means no limit
+}
+
+// NewEnv returns an environment whose random source is seeded with seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:    rand.New(rand.NewSource(seed)),
+		baton:  make(chan struct{}),
+		parked: make(map[*Proc]string),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's seeded random source. It must only be used
+// from process context or event callbacks so that draw order is
+// deterministic.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at time e.Now()+d. fn executes in event-loop context and
+// must not block; to run blocking code, spawn a process with Go.
+func (e *Env) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now.Add(d), seq: e.seq, fn: fn})
+}
+
+// Stop halts the run after the current event completes.
+func (e *Env) Stop() { e.stopped = true }
+
+// Proc is a simulated thread of control backed by a goroutine.
+type Proc struct {
+	env    *Env
+	id     int
+	name   string
+	resume chan struct{}
+	dead   bool
+	daemon bool
+	killed bool
+}
+
+// killSentinel unwinds a killed process's stack during Env.Shutdown.
+type killSentinel struct{}
+
+// SetDaemon marks the process as a daemon: a run may end while daemons are
+// still parked (e.g. idle thread-pool workers) without reporting deadlock.
+func (p *Proc) SetDaemon(v bool) {
+	if p.daemon == v {
+		return
+	}
+	p.daemon = v
+	if v {
+		p.env.live--
+	} else {
+		p.env.live++
+	}
+}
+
+// ID returns the process's unique id within its environment.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the label given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns a process that begins executing fn at the current virtual time.
+// It may be called before Run or from process/event context during a run.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{env: e, id: e.procSeq, name: name, resume: make(chan struct{})}
+	e.live++
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for first dispatch
+		if !p.killed {
+			runKillable(fn, p)
+		}
+		p.dead = true
+		if !p.daemon {
+			e.live--
+		}
+		delete(e.procs, p)
+		e.baton <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// runKillable executes fn, converting the kill sentinel panic used by
+// Shutdown into a clean return.
+func runKillable(fn func(*Proc), p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn(p)
+}
+
+// Shutdown terminates all remaining processes (including daemons), allowing
+// their goroutines to exit. Call it once after Run returns; the environment
+// must not be used afterwards.
+func (e *Env) Shutdown() {
+	for p := range e.procs {
+		if p.dead {
+			continue
+		}
+		p.killed = true
+		e.cur = p
+		delete(e.parked, p)
+		p.resume <- struct{}{}
+		<-e.baton
+		e.cur = nil
+	}
+}
+
+// dispatch hands the baton to p and waits for it to park or exit.
+func (e *Env) dispatch(p *Proc) {
+	if p.dead {
+		return
+	}
+	prev := e.cur
+	e.cur = p
+	delete(e.parked, p)
+	p.resume <- struct{}{}
+	<-e.baton
+	e.cur = prev
+}
+
+// park returns control to the event loop and blocks until redispatched.
+// why records the blocking reason for deadlock reports.
+func (p *Proc) park(why string) {
+	p.env.parked[p] = why
+	p.env.baton <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Even a zero sleep is a scheduling point: it yields to other
+		// same-time events in deterministic order.
+		d = 0
+	}
+	e := p.env
+	e.Schedule(d, func() { e.dispatch(p) })
+	p.park("sleep")
+}
+
+// Yield reschedules the process at the current time, letting any other
+// same-time events run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes events until the queue is empty, Stop is called, or the
+// optional time limit is reached. It returns an error if live processes
+// remain parked with no runnable events (deadlock).
+func (e *Env) Run() error {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if e.limit > 0 && ev.at > e.limit {
+			return nil
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.stopped && e.live > 0 {
+		return e.deadlockError()
+	}
+	return nil
+}
+
+// RunUntil executes events up to and including time t, leaving later events
+// queued.
+func (e *Env) RunUntil(t Time) error {
+	e.limit = t
+	defer func() { e.limit = 0 }()
+	return e.Run()
+}
+
+func (e *Env) deadlockError() error {
+	type stuck struct {
+		name, why string
+	}
+	var list []stuck
+	for p, why := range e.parked {
+		list = append(list, stuck{p.name, why})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	msg := fmt.Sprintf("sim: deadlock at %v: %d live procs, none runnable", e.now, e.live)
+	for i, s := range list {
+		if i >= 8 {
+			msg += fmt.Sprintf("; … and %d more", len(list)-8)
+			break
+		}
+		msg += fmt.Sprintf("; %s blocked on %s", s.name, s.why)
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// Event is a one-shot occurrence processes can wait on. Once triggered,
+// subsequent waits return immediately.
+type Event struct {
+	env       *Env
+	triggered bool
+	waiters   []*Proc
+}
+
+// NewEvent returns an untriggered event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Triggered reports whether the event has fired.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Trigger fires the event, scheduling all waiters to resume at the current
+// time. Triggering an already-triggered event is a no-op.
+func (ev *Event) Trigger() {
+	if ev.triggered {
+		return
+	}
+	ev.triggered = true
+	for _, p := range ev.waiters {
+		w := p
+		ev.env.Schedule(0, func() { ev.env.dispatch(w) })
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event is triggered.
+func (ev *Event) Wait(p *Proc) {
+	if ev.triggered {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park("event")
+}
+
+// Cond is a condition variable for processes. Unlike sync.Cond it needs no
+// lock: process code already runs under total mutual exclusion, so the usual
+// pattern is
+//
+//	for !condition() { cond.Wait(p) }
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+	label   string
+}
+
+// NewCond returns a condition variable; label appears in deadlock reports.
+func (e *Env) NewCond(label string) *Cond { return &Cond{env: e, label: label} }
+
+// Wait blocks p until another process calls Signal or Broadcast. Callers
+// must re-check their condition in a loop: a wake-up does not imply the
+// condition holds.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("cond:" + c.label)
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.env.Schedule(0, func() { c.env.dispatch(p) })
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		w := p
+		c.env.Schedule(0, func() { c.env.dispatch(w) })
+	}
+	c.waiters = nil
+}
+
+// Semaphore is a counting semaphore for processes.
+type Semaphore struct {
+	env  *Env
+	free int
+	cond *Cond
+}
+
+// NewSemaphore returns a semaphore with n free slots.
+func (e *Env) NewSemaphore(n int) *Semaphore {
+	return &Semaphore{env: e, free: n, cond: e.NewCond("semaphore")}
+}
+
+// Acquire blocks p until a slot is free, then takes it.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.free <= 0 {
+		s.cond.Wait(p)
+	}
+	s.free--
+}
+
+// Release frees a slot, waking one waiter.
+func (s *Semaphore) Release() {
+	s.free++
+	s.cond.Signal()
+}
+
+// Free returns the number of free slots.
+func (s *Semaphore) Free() int { return s.free }
+
+// WaitGroup counts in-flight tasks; Wait blocks until the count reaches zero.
+type WaitGroup struct {
+	env   *Env
+	count int
+	cond  *Cond
+}
+
+// NewWaitGroup returns a wait group with count zero.
+func (e *Env) NewWaitGroup() *WaitGroup {
+	return &WaitGroup{env: e, cond: e.NewCond("waitgroup")}
+}
+
+// Add increments the count by n.
+func (wg *WaitGroup) Add(n int) { wg.count += n }
+
+// Done decrements the count, waking waiters when it reaches zero.
+func (wg *WaitGroup) Done() {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: WaitGroup count below zero")
+	}
+	if wg.count == 0 {
+		wg.cond.Broadcast()
+	}
+}
+
+// Count returns the current count.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait blocks p until the count is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.cond.Wait(p)
+	}
+}

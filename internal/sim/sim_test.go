@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	env := NewEnv(1)
+	var woke Time
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(250 * time.Millisecond)
+		woke = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != Time(250*time.Millisecond) {
+		t.Fatalf("woke at %v, want 250ms", woke)
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	env := NewEnv(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Schedule(0, func() { order = append(order, i) })
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		env := NewEnv(42)
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			env.Go(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(time.Duration(1+len(name)) * time.Millisecond)
+					log = append(log, name)
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	second := run()
+	if len(first) != 9 {
+		t.Fatalf("got %d entries, want 9", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("run diverged at %d: %q vs %q", i, first[i], second[i])
+		}
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	woke := 0
+	for i := 0; i < 5; i++ {
+		env.Go("waiter", func(p *Proc) {
+			ev.Wait(p)
+			woke++
+		})
+	}
+	env.Go("trigger", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ev.Trigger()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5 {
+		t.Fatalf("woke %d waiters, want 5", woke)
+	}
+}
+
+func TestEventWaitAfterTriggerReturnsImmediately(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	ev.Trigger()
+	done := false
+	env.Go("late", func(p *Proc) {
+		ev.Wait(p)
+		done = true
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("late waiter never resumed")
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	env := NewEnv(1)
+	cond := env.NewCond("test")
+	ready := false
+	woke := 0
+	for i := 0; i < 3; i++ {
+		env.Go("waiter", func(p *Proc) {
+			for !ready {
+				cond.Wait(p)
+			}
+			woke++
+		})
+	}
+	env.Go("signaler", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ready = true
+		cond.Signal()
+	})
+	// Two waiters stay parked: that is a deadlock by design here.
+	err := env.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error for unsignalled waiters")
+	}
+	if woke != 1 {
+		t.Fatalf("woke %d, want 1", woke)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	env := NewEnv(1)
+	cond := env.NewCond("test")
+	ready := false
+	woke := 0
+	for i := 0; i < 4; i++ {
+		env.Go("waiter", func(p *Proc) {
+			for !ready {
+				cond.Wait(p)
+			}
+			woke++
+		})
+	}
+	env.Go("broadcaster", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ready = true
+		cond.Broadcast()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 4 {
+		t.Fatalf("woke %d, want 4", woke)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	env := NewEnv(1)
+	wg := env.NewWaitGroup()
+	finished := 0
+	var waitedAt Time
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		env.Go("worker", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			finished++
+			wg.Done()
+		})
+	}
+	env.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		waitedAt = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 3 {
+		t.Fatalf("finished = %d, want 3", finished)
+	}
+	if waitedAt != Time(3*time.Millisecond) {
+		t.Fatalf("waiter resumed at %v, want 3ms", waitedAt)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	env := NewEnv(1)
+	ev := env.NewEvent()
+	env.Go("stuck", func(p *Proc) { ev.Wait(p) })
+	if err := env.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	env := NewEnv(1)
+	ticks := 0
+	env.Go("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			ticks++
+			if ticks == 5 {
+				env.Stop()
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	env := NewEnv(1)
+	fired := []int{}
+	env.Schedule(time.Second, func() { fired = append(fired, 1) })
+	env.Schedule(3*time.Second, func() { fired = append(fired, 2) })
+	if err := env.RunUntil(Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Fatalf("fired %v, want only first event", fired)
+	}
+	if env.Now() != Time(time.Second) {
+		t.Fatalf("now = %v, want 1s", env.Now())
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	env := NewEnv(1)
+	depth := 0
+	var spawn func(p *Proc)
+	spawn = func(p *Proc) {
+		depth++
+		if depth < 10 {
+			env.Go("child", spawn)
+		}
+		p.Sleep(time.Millisecond)
+	}
+	env.Go("root", spawn)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 10 {
+		t.Fatalf("depth = %d, want 10", depth)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	draw := func(seed int64) []int64 {
+		env := NewEnv(seed)
+		var vals []int64
+		env.Go("p", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				vals = append(vals, env.Rand().Int63())
+				p.Sleep(time.Millisecond)
+			}
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rand diverged at %d", i)
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+// Property: for any set of sleep durations, processes wake in sorted order
+// of duration (FIFO for ties), i.e. the event heap is a stable priority
+// queue.
+func TestPropertyWakeOrderSorted(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		env := NewEnv(1)
+		type wake struct {
+			idx int
+			at  Time
+		}
+		var wakes []wake
+		for i, r := range raw {
+			i, d := i, time.Duration(r)*time.Microsecond
+			env.Go("p", func(p *Proc) {
+				p.Sleep(d)
+				wakes = append(wakes, wake{i, p.Now()})
+			})
+		}
+		if err := env.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(wakes); i++ {
+			if wakes[i].at < wakes[i-1].at {
+				return false
+			}
+			if wakes[i].at == wakes[i-1].at && wakes[i].idx < wakes[i-1].idx {
+				return false // ties must preserve spawn order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a chain of WaitGroup-joined stages always observes monotonically
+// nondecreasing time and the final time equals the max stage duration.
+func TestPropertyWaitGroupJoinTime(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		env := NewEnv(1)
+		wg := env.NewWaitGroup()
+		var maxD time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			if d > maxD {
+				maxD = d
+			}
+			wg.Add(1)
+			env.Go("w", func(p *Proc) {
+				p.Sleep(d)
+				wg.Done()
+			})
+		}
+		var at Time
+		env.Go("join", func(p *Proc) {
+			wg.Wait(p)
+			at = p.Now()
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return at == Time(maxD)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Package trace exports scheduling timelines in the Chrome trace-event
+// format (the JSON consumed by chrome://tracing and https://ui.perfetto.dev),
+// so Olympian's quantum interleaving can be inspected visually — each
+// client is a track, each quantum a slice.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"olympian/internal/core"
+)
+
+// event is one Chrome trace event ("X" = complete event).
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []event           `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders scheduling-interval records as a Chrome trace.
+// clientLabels optionally maps client ids to track names (e.g. model
+// names); unmapped clients get "client-N".
+func WriteChromeTrace(w io.Writer, records []core.QuantumRecord, clientLabels map[int]string) error {
+	tf := traceFile{
+		DisplayTimeUnit: "ms",
+		Metadata: map[string]string{
+			"source": "olympian simulation",
+			"format": "one track per client; one slice per scheduling quantum",
+		},
+	}
+	for _, r := range records {
+		label := clientLabels[r.Client]
+		if label == "" {
+			label = fmt.Sprintf("client-%d", r.Client)
+		}
+		tf.TraceEvents = append(tf.TraceEvents, event{
+			Name: label,
+			Ph:   "X",
+			Ts:   float64(r.Start) / float64(time.Microsecond),
+			Dur:  float64(r.End-r.Start) / float64(time.Microsecond),
+			Pid:  0,
+			Tid:  r.Client,
+			Args: map[string]any{
+				"jobID":           r.JobID,
+				"gpuDurationUs":   r.GPUDuration.Microseconds(),
+				"activeJobs":      r.ActiveJobs,
+				"overflowKernels": r.OverflowKernels,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

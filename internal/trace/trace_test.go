@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"olympian/internal/core"
+	"olympian/internal/sim"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	records := []core.QuantumRecord{
+		{Client: 0, JobID: 1, Start: 0, End: sim.Time(1200 * time.Microsecond), GPUDuration: time.Millisecond, ActiveJobs: 2},
+		{Client: 1, JobID: 2, Start: sim.Time(1200 * time.Microsecond), End: sim.Time(2500 * time.Microsecond), GPUDuration: 1100 * time.Microsecond, ActiveJobs: 2, OverflowKernels: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, records, map[int]string{0: "inception"}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+			Args struct {
+				OverflowKernels int `json:"overflowKernels"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.TraceEvents) != 2 {
+		t.Fatalf("%d events", len(decoded.TraceEvents))
+	}
+	ev0 := decoded.TraceEvents[0]
+	if ev0.Name != "inception" || ev0.Ph != "X" || ev0.Ts != 0 || ev0.Dur != 1200 {
+		t.Fatalf("event 0 %+v", ev0)
+	}
+	ev1 := decoded.TraceEvents[1]
+	if ev1.Name != "client-1" || ev1.Tid != 1 || ev1.Args.OverflowKernels != 1 {
+		t.Fatalf("event 1 %+v", ev1)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("display unit %q", decoded.DisplayTimeUnit)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatal("missing traceEvents key")
+	}
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"olympian/internal/model"
+)
+
+func TestRunMultiScalesThroughput(t *testing.T) {
+	clients := smallClients(4, 2)
+	one, err := RunMulti(MultiConfig{Config: Config{Seed: 1, Kind: Olympian}, GPUs: 1}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := RunMulti(MultiConfig{Config: Config{Seed: 1, Kind: Olympian}, GPUs: 2}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := one.Elapsed.Seconds() / two.Elapsed.Seconds()
+	if speedup < 1.7 || speedup > 2.3 {
+		t.Fatalf("2-GPU speedup %.2f, want ~2", speedup)
+	}
+	if len(two.PerGPU) != 2 {
+		t.Fatalf("per-GPU shares %d, want 2", len(two.PerGPU))
+	}
+	if two.PerGPU[0].Clients != 2 || two.PerGPU[1].Clients != 2 {
+		t.Fatalf("placement %+v, want 2/2", two.PerGPU)
+	}
+}
+
+func TestRunMultiVanilla(t *testing.T) {
+	res, err := RunMulti(MultiConfig{Config: Config{Seed: 1, Kind: Vanilla}, GPUs: 2}, smallClients(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 0 {
+		t.Fatal("vanilla multi-GPU run should not switch tokens")
+	}
+	if len(res.Finishes.Records) != 4 {
+		t.Fatalf("%d finishes", len(res.Finishes.Records))
+	}
+}
+
+func TestRunMultiRejectsEmpty(t *testing.T) {
+	if _, err := RunMulti(MultiConfig{GPUs: 2}, nil); err == nil {
+		t.Fatal("expected error for empty client set")
+	}
+}
+
+func TestPoissonClientsArrivalProcess(t *testing.T) {
+	clients := PoissonClients(model.Inception, 50, 10, 2*time.Second, 7)
+	if len(clients) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	// Expected ~20 arrivals at 10/s over 2s; allow wide tolerance.
+	if len(clients) < 8 || len(clients) > 40 {
+		t.Fatalf("%d arrivals, want ~20", len(clients))
+	}
+	var prev time.Duration
+	for _, c := range clients {
+		if c.ArriveAt < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		if c.ArriveAt >= 2*time.Second {
+			t.Fatal("arrival beyond horizon")
+		}
+		if c.Batches != 1 {
+			t.Fatal("open-loop clients must be single-batch")
+		}
+		prev = c.ArriveAt
+	}
+	// Determinism.
+	again := PoissonClients(model.Inception, 50, 10, 2*time.Second, 7)
+	if len(again) != len(clients) {
+		t.Fatal("arrival process not deterministic")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	clients := []ClientSpec{
+		{Model: model.Inception, Batch: 10, ArriveAt: time.Second},
+		{Model: model.Inception, Batch: 10, ArriveAt: 2 * time.Second},
+	}
+	res, err := Run(Config{Seed: 1, Kind: Vanilla}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := Latencies(res.Finishes, clients)
+	if len(lats) != 2 {
+		t.Fatalf("%d latencies", len(lats))
+	}
+	for _, l := range lats {
+		if l <= 0 || l > 10*time.Second {
+			t.Fatalf("latency %v out of range", l)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package workload is the experiment harness: it assembles a simulated
+// serving deployment (GPU device, execution engine, optional Olympian
+// scheduler), runs a set of closed-loop clients against it, and collects
+// the metrics the paper's evaluation reports — per-client finish times,
+// per-quantum GPU durations, scheduling intervals, utilization, and
+// thread-pool pressure.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"olympian/internal/core"
+	"olympian/internal/executor"
+	"olympian/internal/gpu"
+	"olympian/internal/graph"
+	"olympian/internal/metrics"
+	"olympian/internal/model"
+	"olympian/internal/profiler"
+	"olympian/internal/sim"
+)
+
+// SchedulerKind selects the middleware scheduler for a run.
+type SchedulerKind int
+
+const (
+	// Vanilla is unmodified TF-Serving: the GPU driver's FIFO is the only
+	// scheduler.
+	Vanilla SchedulerKind = iota + 1
+	// Olympian is cost-based middleware time-slicing (the paper's system).
+	Olympian
+	// WallClockSlicing is the Figure 19 strawman: time-slicing driven by a
+	// CPU timer instead of profiled GPU usage.
+	WallClockSlicing
+	// KernelSlicing is the related-work baseline: Olympian's scheduler over
+	// kernels split into sub-kernel slices, paying a preemption penalty per
+	// slice — isolation at the cost the paper's related work reports.
+	KernelSlicing
+)
+
+// String names the scheduler kind.
+func (k SchedulerKind) String() string {
+	switch k {
+	case Vanilla:
+		return "tf-serving"
+	case Olympian:
+		return "olympian"
+	case WallClockSlicing:
+		return "cpu-timer"
+	case KernelSlicing:
+		return "kernel-slicing"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(k))
+	}
+}
+
+// ModelRef identifies a (model, batch) graph.
+type ModelRef struct {
+	Model string
+	Batch int
+}
+
+// ClientSpec describes one closed-loop client: it submits Batches input
+// batches sequentially, each a full Session::Run of the model.
+type ClientSpec struct {
+	Model    string
+	Batch    int
+	Batches  int
+	Weight   int
+	Priority int
+	// ArriveAt delays the client's first request.
+	ArriveAt time.Duration
+	// Deadline, if nonzero, is each batch's relative completion target;
+	// deadline-aware policies (EDF) order jobs by it.
+	Deadline time.Duration
+}
+
+// Ref returns the client's model reference.
+func (c ClientSpec) Ref() ModelRef { return ModelRef{Model: c.Model, Batch: c.Batch} }
+
+// Config parameterises a run.
+type Config struct {
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Spec is the GPU platform (defaults to GTX1080Ti).
+	Spec gpu.Spec
+	// Kind selects the scheduler (defaults to Vanilla).
+	Kind SchedulerKind
+	// Policy is the Olympian scheduling policy (defaults to fair).
+	Policy core.Policy
+	// Quantum is Q. Zero means DefaultQuantum.
+	Quantum time.Duration
+	// SwitchCost overrides the default gang-switch cost.
+	SwitchCost time.Duration
+	// Jitter is node-duration noise (defaults to 0.03).
+	Jitter float64
+	// ThreadPoolSize caps the shared pool (defaults to the engine default).
+	ThreadPoolSize int
+	// Profiles supplies precomputed offline profiles; missing entries are
+	// profiled on the fly for Olympian runs.
+	Profiles map[ModelRef]*profiler.Result
+	// ProfileOverrides lets an experiment substitute predicted profiles
+	// (e.g. linear-model outputs, Figure 20). Applied after Profiles.
+	ProfileOverrides map[ModelRef]*profiler.Result
+	// ReserveMemory makes each client reserve model memory on the device
+	// for the duration of the run; clients that do not fit fail.
+	ReserveMemory bool
+	// QueueOnMemory, with ReserveMemory, makes clients wait for memory to
+	// free instead of failing admission.
+	QueueOnMemory bool
+	// MaxVirtual aborts the run if virtual time exceeds this (a progress
+	// guard for deadlock-prone configurations). Zero disables.
+	MaxVirtual time.Duration
+}
+
+// DefaultQuantum is used when a run does not choose Q via profiling.
+const DefaultQuantum = 1200 * time.Microsecond
+
+// Result aggregates a run's measurements.
+type Result struct {
+	// Kind echoes the scheduler used.
+	Kind SchedulerKind
+	// Finishes holds each successful client's completion time.
+	Finishes *metrics.FinishSet
+	// Quanta are Olympian's scheduling-interval records (empty for vanilla).
+	Quanta []core.QuantumRecord
+	// Switches counts token hand-offs.
+	Switches int
+	// Elapsed is the virtual time at which the last client finished.
+	Elapsed time.Duration
+	// Utilization is GPU busy time divided by elapsed time (the
+	// nvidia-smi-style metric the paper reports).
+	Utilization float64
+	// SMEfficiency is occupancy-weighted GPU time divided by elapsed time:
+	// the fraction of SM capacity actually used.
+	SMEfficiency float64
+	// Pool reports thread-pool pressure.
+	Pool executor.PoolStats
+	// Device reports GPU counters.
+	Device gpu.Stats
+	// FailedClients lists clients that could not be admitted (memory).
+	FailedClients []int
+	// Quantum echoes the Q used by the scheduler (zero for vanilla).
+	Quantum time.Duration
+}
+
+// Run executes the workload and returns its measurements.
+func Run(cfg Config, clients []ClientSpec) (*Result, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("workload: no clients")
+	}
+	if cfg.Spec.Name == "" {
+		cfg.Spec = gpu.GTX1080Ti
+	}
+	if cfg.Kind == 0 {
+		cfg.Kind = Vanilla
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = DefaultQuantum
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.03
+	}
+	if cfg.SwitchCost == 0 {
+		cfg.SwitchCost = core.DefaultSwitchCost
+	}
+
+	graphs, err := buildGraphs(clients)
+	if err != nil {
+		return nil, err
+	}
+
+	env := sim.NewEnv(cfg.Seed)
+	dev := gpu.New(env, cfg.Spec)
+
+	var sched *core.Scheduler
+	var hooks executor.Hooks
+	switch cfg.Kind {
+	case Vanilla:
+		hooks = executor.NopHooks{}
+	case Olympian, WallClockSlicing, KernelSlicing:
+		mode := core.CostBased
+		if cfg.Kind == WallClockSlicing {
+			mode = core.WallClock
+		}
+		sched = core.New(env, dev, core.Config{
+			Policy:     cfg.Policy,
+			Quantum:    cfg.Quantum,
+			SwitchCost: cfg.SwitchCost,
+			Mode:       mode,
+		})
+		if cfg.Kind != WallClockSlicing {
+			if err := attachProfiles(sched, graphs, cfg); err != nil {
+				return nil, err
+			}
+		}
+		hooks = sched
+	default:
+		return nil, fmt.Errorf("workload: unknown scheduler kind %d", cfg.Kind)
+	}
+
+	engCfg := executor.Config{
+		ThreadPoolSize: cfg.ThreadPoolSize,
+		Jitter:         cfg.Jitter,
+	}
+	if cfg.Kind == KernelSlicing {
+		// Related-work parameters: slices near the quantum scale, with the
+		// hundreds-of-microseconds context-switch cost the paper cites for
+		// preempting a massively parallel GPU context.
+		engCfg.KernelSliceDur = 300 * time.Microsecond
+		engCfg.KernelSlicePenalty = 150 * time.Microsecond
+	}
+	eng := executor.New(env, dev, engCfg, hooks)
+
+	res := &Result{Kind: cfg.Kind, Finishes: &metrics.FinishSet{Label: cfg.Kind.String()}}
+	if cfg.Kind != Vanilla {
+		res.Quantum = cfg.Quantum
+	}
+	memFreed := env.NewCond("memory-admission")
+	var lastFinish sim.Time
+	for i, spec := range clients {
+		i, spec := i, spec
+		g := graphs[spec.Ref()]
+		env.Go(fmt.Sprintf("client-%d", i), func(p *sim.Proc) {
+			if cfg.ReserveMemory {
+				bytes, merr := model.MemoryBytes(spec.Model, spec.Batch)
+				if merr != nil {
+					res.FailedClients = append(res.FailedClients, i)
+					return
+				}
+				for dev.Alloc(bytes) != nil {
+					if !cfg.QueueOnMemory {
+						res.FailedClients = append(res.FailedClients, i)
+						return
+					}
+					memFreed.Wait(p)
+				}
+				defer func() {
+					dev.Free(bytes)
+					memFreed.Broadcast()
+				}()
+			}
+			if spec.ArriveAt > 0 {
+				p.Sleep(spec.ArriveAt)
+			}
+			batches := spec.Batches
+			if batches <= 0 {
+				batches = 1
+			}
+			for b := 0; b < batches; b++ {
+				job := eng.NewJob(i, g)
+				if spec.Weight > 0 {
+					job.Weight = spec.Weight
+				}
+				job.Priority = spec.Priority
+				if spec.Deadline > 0 {
+					job.Deadline = p.Now().Add(spec.Deadline)
+				}
+				eng.Run(p, job)
+			}
+			finish := time.Duration(p.Now())
+			res.Finishes.Add(i, spec.Model, finish)
+			if p.Now() > lastFinish {
+				lastFinish = p.Now()
+			}
+		})
+	}
+
+	var runErr error
+	if cfg.MaxVirtual > 0 {
+		runErr = env.RunUntil(sim.Time(cfg.MaxVirtual))
+		if runErr == nil && len(res.Finishes.Records)+len(res.FailedClients) < len(clients) {
+			runErr = fmt.Errorf("workload: run exceeded %v with %d/%d clients finished",
+				cfg.MaxVirtual, len(res.Finishes.Records), len(clients))
+		}
+	} else {
+		runErr = env.Run()
+	}
+	env.Shutdown()
+	res.Elapsed = time.Duration(lastFinish)
+	res.Device = dev.Stats()
+	res.Pool = eng.Pool().Stats()
+	if sched != nil {
+		res.Quanta = sched.Records()
+		res.Switches = sched.Switches()
+	}
+	if runErr != nil {
+		return res, fmt.Errorf("workload %s: %w", cfg.Kind, runErr)
+	}
+
+	if res.Elapsed > 0 {
+		res.Utilization = dev.TotalBusy().Seconds() / res.Elapsed.Seconds()
+		res.SMEfficiency = dev.OccupancyTime().Seconds() / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// buildGraphs constructs one shared graph per distinct model reference.
+func buildGraphs(clients []ClientSpec) (map[ModelRef]*graph.Graph, error) {
+	graphs := make(map[ModelRef]*graph.Graph)
+	for _, c := range clients {
+		ref := c.Ref()
+		if _, ok := graphs[ref]; ok {
+			continue
+		}
+		g, err := model.Build(ref.Model, ref.Batch)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		graphs[ref] = g
+	}
+	return graphs, nil
+}
+
+// attachProfiles ensures every graph has an offline profile and registers
+// it with the scheduler at the configured quantum.
+func attachProfiles(sched *core.Scheduler, graphs map[ModelRef]*graph.Graph, cfg Config) error {
+	for ref, g := range graphs {
+		prof := cfg.ProfileOverrides[ref]
+		if prof == nil {
+			prof = cfg.Profiles[ref]
+		}
+		if prof == nil {
+			p, err := profiler.ProfileSolo(g, profiler.Options{
+				Spec: cfg.Spec, Seed: cfg.Seed + 1000, Jitter: 0,
+			})
+			if err != nil {
+				return err
+			}
+			prof = p
+		}
+		sched.SetProfile(g, prof.JobProfile(cfg.Quantum))
+	}
+	return nil
+}
+
+// Profile computes (and caches into dst) offline profiles for the given
+// refs; experiments use it to share profiling work across runs.
+func Profile(dst map[ModelRef]*profiler.Result, refs []ModelRef, spec gpu.Spec, seed int64) error {
+	for _, ref := range refs {
+		if _, ok := dst[ref]; ok {
+			continue
+		}
+		g, err := model.Build(ref.Model, ref.Batch)
+		if err != nil {
+			return err
+		}
+		p, err := profiler.ProfileSolo(g, profiler.Options{Spec: spec, Seed: seed, Jitter: 0})
+		if err != nil {
+			return err
+		}
+		dst[ref] = p
+	}
+	return nil
+}

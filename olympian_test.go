@@ -1,0 +1,258 @@
+package olympian
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulateVanillaVsOlympian(t *testing.T) {
+	clients := HomogeneousClients(Inception, 50, 3, 4)
+	van, err := Simulate(Config{Scheduler: SchedulerTFServing}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oly, err := Simulate(Config{Scheduler: SchedulerOlympian}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(van.FinishTimes()); got != 4 {
+		t.Fatalf("vanilla run produced %d finishes, want 4", got)
+	}
+	if oly.FinishSpread() > 1.01 {
+		t.Fatalf("Olympian fair spread %.3f, want ~1.0", oly.FinishSpread())
+	}
+	if oly.TokenSwitches() == 0 {
+		t.Fatal("Olympian made no token switches")
+	}
+	if van.TokenSwitches() != 0 {
+		t.Fatal("vanilla TF-Serving should make no token switches")
+	}
+	if u := oly.Utilization(); u < 0.5 || u > 1.0 {
+		t.Fatalf("utilization %.2f out of range", u)
+	}
+}
+
+func TestSimulateWeightedPolicy(t *testing.T) {
+	clients := HomogeneousClients(Inception, 50, 3, 4)
+	for i := 0; i < 2; i++ {
+		clients[i].Weight = 2
+	}
+	res, err := Simulate(Config{Scheduler: SchedulerOlympian, Policy: WeightedFairPolicy()}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fins := res.FinishTimes()
+	if fins[0] >= fins[2] {
+		t.Fatalf("weighted client should finish first: %v", fins)
+	}
+}
+
+func TestProfileAndThreshold(t *testing.T) {
+	prof, err := Profile(ResNet152, 50, GTX1080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalCost <= 0 || prof.GPUDuration <= 0 {
+		t.Fatalf("degenerate profile %+v", prof)
+	}
+	th := prof.Threshold(1200 * time.Microsecond)
+	if th <= 0 {
+		t.Fatalf("threshold %v", th)
+	}
+}
+
+func TestQuantumDurationsNearQ(t *testing.T) {
+	clients := HomogeneousClients(Inception, 50, 3, 4)
+	q := 1200 * time.Microsecond
+	res, err := Simulate(Config{Scheduler: SchedulerOlympian, Quantum: q}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.MeanQuantum()
+	if mean < q/2 || mean > q*2 {
+		t.Fatalf("mean quantum %v far from Q=%v", mean, q)
+	}
+	per := res.QuantumDurations()
+	if len(per) != 4 {
+		t.Fatalf("quantum durations for %d clients, want 4", len(per))
+	}
+}
+
+func TestModelMemoryAndModels(t *testing.T) {
+	if got := len(Models()); got != 7 {
+		t.Fatalf("%d models, want 7", got)
+	}
+	m, err := ModelMemory(Inception, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m <= 0 {
+		t.Fatalf("memory %d", m)
+	}
+	if _, err := ModelMemory("bogus", 1); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	rep, err := RunExperiment("fig11", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metric("olympian_spread") > 1.02 {
+		t.Fatalf("fig11 quick spread %.3f", rep.Metric("olympian_spread"))
+	}
+	if _, err := RunExperiment("nope", true); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+	if got := len(Experiments()); got < 15 {
+		t.Fatalf("registry has %d experiments", got)
+	}
+}
+
+func TestReserveMemoryLimitsClients(t *testing.T) {
+	// Far more clients than an 11GB device can hold.
+	clients := HomogeneousClients(Inception, 100, 1, 60)
+	res, err := Simulate(Config{Scheduler: SchedulerTFServing, ReserveMemory: true}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := len(res.FinishTimes())
+	failed := len(res.FailedClients())
+	if admitted+failed != 60 {
+		t.Fatalf("admitted %d + failed %d != 60", admitted, failed)
+	}
+	if failed == 0 {
+		t.Fatal("expected some clients to fail admission on a full device")
+	}
+	if admitted < 35 || admitted > 55 {
+		t.Fatalf("admitted %d clients, want ~45 (paper §4.3)", admitted)
+	}
+}
+
+func TestChooseQuantum(t *testing.T) {
+	q, err := ChooseQuantum(map[string]int{Inception: 30}, 0.03, GTX1080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 100*time.Microsecond || q > 10*time.Millisecond {
+		t.Fatalf("chosen Q %v out of plausible range", q)
+	}
+	// Tighter tolerance must never pick a smaller quantum.
+	q2, err := ChooseQuantum(map[string]int{Inception: 30}, 0.01, GTX1080Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 < q {
+		t.Fatalf("tighter tolerance chose smaller Q: %v < %v", q2, q)
+	}
+	if _, err := ChooseQuantum(nil, 0.03, GTX1080Ti); err == nil {
+		t.Fatal("expected error for empty model set")
+	}
+	if _, err := ChooseQuantum(map[string]int{"bogus": 10}, 0.03, GTX1080Ti); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestSimulateCPUTimerKind(t *testing.T) {
+	clients := HomogeneousClients(Inception, 40, 2, 3)
+	res, err := Simulate(Config{Scheduler: SchedulerCPUTimer}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TokenSwitches() == 0 {
+		t.Fatal("cpu-timer scheduler made no switches")
+	}
+}
+
+func TestSimulateOnTitanXSlower(t *testing.T) {
+	clients := HomogeneousClients(ResNet152, 40, 1, 2)
+	fast, err := Simulate(Config{Scheduler: SchedulerOlympian, GPU: GTX1080Ti}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Simulate(Config{Scheduler: SchedulerOlympian, GPU: TitanX}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Elapsed() <= fast.Elapsed() {
+		t.Fatalf("Titan X (clock 0.82) should be slower: %v vs %v", slow.Elapsed(), fast.Elapsed())
+	}
+}
+
+func TestGPUSecondsAccounting(t *testing.T) {
+	clients := HomogeneousClients(Inception, 50, 2, 3)
+	res, err := Simulate(Config{Scheduler: SchedulerOlympian}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := res.GPUSeconds()
+	if len(usage) != 3 {
+		t.Fatalf("usage for %d clients, want 3", len(usage))
+	}
+	var lo, hi time.Duration
+	for _, u := range usage {
+		if u <= 0 {
+			t.Fatalf("nonpositive usage %v", u)
+		}
+		if lo == 0 || u < lo {
+			lo = u
+		}
+		if u > hi {
+			hi = u
+		}
+	}
+	// Fair sharing: equal work, equal attributed GPU time (within 2%).
+	if float64(hi)/float64(lo) > 1.02 {
+		t.Fatalf("fair usage spread %v..%v", lo, hi)
+	}
+	// Vanilla cannot attribute usage.
+	van, err := Simulate(Config{Scheduler: SchedulerTFServing}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(van.GPUSeconds()) != 0 {
+		t.Fatal("vanilla run should have no attribution")
+	}
+}
+
+func TestEndToEndDeterminism(t *testing.T) {
+	// The entire stack is deterministic per seed: two identical runs give
+	// byte-identical finish times, switches and utilization.
+	clients := HomogeneousClients(ResNet152, 60, 2, 4)
+	run := func() (*Result, error) {
+		return Simulate(Config{Scheduler: SchedulerOlympian, Seed: 11}, clients)
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.FinishTimes(), b.FinishTimes()
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("client %d diverged: %v vs %v", i, fa[i], fb[i])
+		}
+	}
+	if a.TokenSwitches() != b.TokenSwitches() || a.Utilization() != b.Utilization() {
+		t.Fatal("scheduler metrics diverged across identical runs")
+	}
+	// A different seed must actually change something.
+	c, err := Simulate(Config{Scheduler: SchedulerOlympian, Seed: 12}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	fc := c.FinishTimes()
+	for i := range fa {
+		if fa[i] != fc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
