@@ -1,0 +1,202 @@
+// In-process benchmark runner behind the -bench-json flag: measures the
+// simulation substrate and the parallel experiment harness with
+// testing.Benchmark and writes a machine-readable BENCH_<stamp>.json, so CI
+// and scripts can track kernel regressions without parsing `go test -bench`
+// output.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"olympian/internal/gpu"
+	"olympian/internal/model"
+	"olympian/internal/profiler"
+	"olympian/internal/sim"
+	"olympian/internal/workload"
+)
+
+// benchResult is one benchmark's measurements.
+type benchResult struct {
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the BENCH_<stamp>.json document.
+type benchReport struct {
+	Stamp      string        `json:"stamp"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchSuite returns the named benchmark functions, in report order.
+func benchSuite() []struct {
+	Name string
+	Fn   func(b *testing.B)
+} {
+	return []struct {
+		Name string
+		Fn   func(b *testing.B)
+	}{
+		{"sim/event_throughput", benchEventThroughput},
+		{"sim/proc_switch", benchProcSwitch},
+		{"gpu/kernel_dispatch", benchKernelDispatch},
+		{"model/build_uncached", benchModelBuild},
+		{"experiments/run_many_speedup", benchRunManySpeedup},
+	}
+}
+
+func benchEventThroughput(b *testing.B) {
+	env := sim.NewEnv(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			env.Schedule(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	env.Schedule(0, tick)
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchProcSwitch(b *testing.B) {
+	env := sim.NewEnv(1)
+	env.Go("switcher", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchKernelDispatch(b *testing.B) {
+	env := sim.NewEnv(1)
+	dev := gpu.New(env, gpu.Spec{Name: "bench", ClockScale: 1, Capacity: 1})
+	env.Go("submitter", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			ev := dev.Submit(&gpu.Kernel{Owner: 1, Stream: 1, Duration: time.Microsecond, Occupancy: 1})
+			ev.Wait(p)
+		}
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchModelBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := model.BuildUncached(model.AlexNet, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRunManySpeedup runs the same multi-config experiment serially and
+// through workload.RunMany, reporting the wall-clock speedup as a metric.
+// The op being timed is the parallel pass.
+func benchRunManySpeedup(b *testing.B) {
+	specs, err := benchSpecs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialStart := time.Now()
+	for i := range specs {
+		if _, err := workload.Run(specs[i].Config, specs[i].Clients); err != nil {
+			b.Fatal(err)
+		}
+	}
+	serial := time.Since(serialStart)
+	b.ResetTimer()
+	parallelStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Results(workload.RunMany(specs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	parallel := time.Since(parallelStart) / time.Duration(b.N)
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(serial.Seconds(), "serial_s")
+}
+
+// benchSpecs builds a small multi-config workload: four independent Olympian
+// runs over a pre-warmed shared profile store.
+func benchSpecs() ([]workload.RunSpec, error) {
+	store := profiler.NewStore()
+	clients := make([]workload.ClientSpec, 4)
+	for i := range clients {
+		clients[i] = workload.ClientSpec{Model: model.Inception, Batch: 50, Batches: 2}
+	}
+	refs := []workload.ModelRef{{Model: model.Inception, Batch: 50}}
+	if err := workload.Profile(store, refs, gpu.GTX1080Ti, 900); err != nil {
+		return nil, err
+	}
+	specs := make([]workload.RunSpec, 4)
+	for i := range specs {
+		specs[i] = workload.RunSpec{
+			Config: workload.Config{
+				Seed: int64(i + 1), Kind: workload.Olympian,
+				Quantum: 1200 * time.Microsecond,
+				Spec:    gpu.GTX1080Ti, Profiles: store,
+			},
+			Clients: clients,
+		}
+	}
+	return specs, nil
+}
+
+// runBenchJSON executes the suite and writes BENCH_<stamp>.json into dir,
+// returning the file path.
+func runBenchJSON(dir string, stamp time.Time) (string, error) {
+	rep := benchReport{
+		Stamp:      stamp.UTC().Format("20060102T150405Z"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range benchSuite() {
+		res := testing.Benchmark(bm.Fn)
+		if res.N == 0 {
+			return "", fmt.Errorf("benchmark %s failed (see log above)", bm.Name)
+		}
+		br := benchResult{
+			Name:        bm.Name,
+			N:           res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			br.Metrics = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				br.Metrics[k] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+rep.Stamp+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

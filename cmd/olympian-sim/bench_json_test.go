@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full benchmark suite")
+	}
+	dir := t.TempDir()
+	stamp := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	path, err := runBenchJSON(dir, stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "BENCH_20260805T120000Z.json"; !strings.HasSuffix(path, want) {
+		t.Fatalf("path %q, want suffix %q", path, want)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	suite := benchSuite()
+	if len(rep.Benchmarks) != len(suite) {
+		t.Fatalf("got %d benchmarks, want %d", len(rep.Benchmarks), len(suite))
+	}
+	for i, bm := range suite {
+		got := rep.Benchmarks[i]
+		if got.Name != bm.Name {
+			t.Errorf("benchmark %d: name %q, want %q", i, got.Name, bm.Name)
+		}
+		if got.N <= 0 || got.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement n=%d ns/op=%f", got.Name, got.N, got.NsPerOp)
+		}
+	}
+	// The speedup bench must report its derived metric.
+	last := rep.Benchmarks[len(rep.Benchmarks)-1]
+	if last.Metrics["speedup"] <= 0 {
+		t.Errorf("run_many_speedup: missing speedup metric: %v", last.Metrics)
+	}
+}

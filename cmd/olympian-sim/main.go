@@ -7,6 +7,7 @@
 //	olympian-sim -all                  # run everything (full size)
 //	olympian-sim -quick fig16          # shrunken workloads for smoke runs
 //	olympian-sim -seed 7 fig3          # different randomness
+//	olympian-sim -bench-json           # substrate benchmarks -> BENCH_<stamp>.json
 //
 // Each experiment prints the same rows the paper's table or figure reports,
 // plus derived notes and machine-readable metrics.
@@ -55,9 +56,18 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "simulation seed")
 		csv      = fs.Bool("csv", false, "emit rows as CSV instead of an aligned table")
 		scenFile = fs.String("scenario", "", "run a custom scenario JSON file instead of a paper experiment")
+		benchOut = fs.Bool("bench-json", false, "run the substrate benchmark suite and write BENCH_<stamp>.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchOut {
+		path, err := runBenchJSON(".", time.Now())
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
 	}
 	if *scenFile != "" {
 		return runScenario(os.Stdout, *scenFile)

@@ -6,6 +6,7 @@ import (
 
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/par"
 	"olympian/internal/workload"
 )
 
@@ -33,35 +34,39 @@ func ExtMultiGPU(o Options) (*Report, error) {
 		return nil, err
 	}
 	r.Headers = []string{"GPUs", "last finish", "speedup", "fairness spread", "per-GPU clients"}
-	var base time.Duration
-	var bestSpeedup float64
-	for _, gpus := range []int{1, 2, 4} {
+	// Each device count is an independent simulation; speedups are derived
+	// against the 1-GPU baseline after all three finish.
+	gpuCounts := []int{1, 2, 4}
+	multis := make([]*workload.MultiResult, len(gpuCounts))
+	if err := par.For(len(gpuCounts), func(i int) error {
 		res, err := workload.RunMulti(workload.MultiConfig{
 			Config: workload.Config{
 				Seed: o.Seed, Kind: workload.Olympian, Quantum: o.quantum(),
 				Profiles: o.Profiles,
 			},
-			GPUs: gpus,
+			GPUs: gpuCounts[i],
 		}, clients)
-		if err != nil {
-			return nil, err
-		}
-		if gpus == 1 {
-			base = res.Elapsed
-		}
+		multis[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	base := multis[0].Elapsed
+	var bestSpeedup float64
+	for i, res := range multis {
 		speedup := base.Seconds() / res.Elapsed.Seconds()
 		if speedup > bestSpeedup {
 			bestSpeedup = speedup
 		}
 		placement := ""
-		for i, share := range res.PerGPU {
-			if i > 0 {
+		for j, share := range res.PerGPU {
+			if j > 0 {
 				placement += "/"
 			}
 			placement += fmt.Sprintf("%d", share.Clients)
 		}
 		s := res.Finishes.Summary()
-		r.AddRow(fmt.Sprintf("%d", gpus), metrics.FormatSeconds(res.Elapsed),
+		r.AddRow(fmt.Sprintf("%d", gpuCounts[i]), metrics.FormatSeconds(res.Elapsed),
 			fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%.3fx", s.Spread()), placement)
 	}
 	r.AddNote("least-loaded placement with one Olympian scheduler per device")
@@ -91,18 +96,18 @@ func ExtDynamicArrivals(o Options) (*Report, error) {
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("ext-dynamic: empty arrival process")
 	}
-	if err := o.ensureProfiles(clients, defaultSpec()); err != nil {
+	r.Headers = []string{"system", "requests", "p50 latency", "p95 latency", "p99/p50"}
+	kinds := []workload.SchedulerKind{workload.Vanilla, workload.Olympian}
+	results, err := o.runAll([]workload.RunSpec{
+		{Config: workload.Config{Kind: kinds[0], Quantum: o.quantum()}, Clients: clients},
+		{Config: workload.Config{Kind: kinds[1], Quantum: o.quantum()}, Clients: clients},
+	})
+	if err != nil {
 		return nil, err
 	}
-	r.Headers = []string{"system", "requests", "p50 latency", "p95 latency", "p99/p50"}
 	var tailRatios []float64
-	for _, kind := range []workload.SchedulerKind{workload.Vanilla, workload.Olympian} {
-		res, err := workload.Run(workload.Config{
-			Seed: o.Seed, Kind: kind, Quantum: o.quantum(), Profiles: o.Profiles,
-		}, clients)
-		if err != nil {
-			return nil, err
-		}
+	for i, kind := range kinds {
+		res := results[i]
 		lats := metrics.DurationsToSeconds(workload.Latencies(res.Finishes, clients))
 		p50 := metrics.Quantile(lats, 0.50)
 		p95 := metrics.Quantile(lats, 0.95)
@@ -133,19 +138,23 @@ func ExtKernelSlicing(o Options) (*Report, error) {
 	}
 	clients := o.homogeneous(o.clients())
 	r.Headers = []string{"system", "finish spread", "last finish", "overhead vs tf-serving"}
-	van, err := o.run(workload.Config{Kind: workload.Vanilla}, clients)
+	// All three systems run concurrently; overheads are computed against the
+	// vanilla baseline once everything is back.
+	results, err := o.runAll([]workload.RunSpec{
+		{Config: workload.Config{Kind: workload.Vanilla}, Clients: clients},
+		{Config: workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, Clients: clients},
+		{Config: workload.Config{Kind: workload.KernelSlicing, Quantum: o.quantum()}, Clients: clients},
+	})
 	if err != nil {
 		return nil, err
 	}
+	van := results[0]
 	base := van.Elapsed.Seconds()
 	r.AddRow("tf-serving", fmt.Sprintf("%.3fx", van.Finishes.Summary().Spread()),
 		metrics.FormatSeconds(van.Elapsed), "-")
 	overheads := map[workload.SchedulerKind]float64{}
-	for _, kind := range []workload.SchedulerKind{workload.Olympian, workload.KernelSlicing} {
-		res, err := o.run(workload.Config{Kind: kind, Quantum: o.quantum()}, clients)
-		if err != nil {
-			return nil, err
-		}
+	for i, kind := range []workload.SchedulerKind{workload.Olympian, workload.KernelSlicing} {
+		res := results[i+1]
 		ov := (res.Elapsed.Seconds() - base) / base
 		overheads[kind] = ov
 		r.AddRow(kind.String(), fmt.Sprintf("%.3fx", res.Finishes.Summary().Spread()),

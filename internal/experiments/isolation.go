@@ -21,14 +21,14 @@ func Fig11(o Options) (*Report, error) {
 		Paper: "Olympian equalizes finish times; TF-Serving spreads them",
 	}
 	clients := o.homogeneous(o.clients())
-	van, err := o.run(workload.Config{Kind: workload.Vanilla}, clients)
+	results, err := o.runAll([]workload.RunSpec{
+		{Config: workload.Config{Kind: workload.Vanilla}, Clients: clients},
+		{Config: workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, Clients: clients},
+	})
 	if err != nil {
 		return nil, err
 	}
-	oly, err := o.run(workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, clients)
-	if err != nil {
-		return nil, err
-	}
+	van, oly := results[0], results[1]
 	r.Headers = []string{"client", "tf-serving", "olympian-fair"}
 	dv, do := van.Finishes.Durations(), oly.Finishes.Durations()
 	for c := range dv {
@@ -110,16 +110,19 @@ func Fig13(o Options) (*Report, error) {
 	r.Headers = []string{"client", "model",
 		fmt.Sprintf("inception-%d/resnet-%d", incBatches[0], o.batchSize()),
 		fmt.Sprintf("inception-%d/resnet-%d", incBatches[1], o.batchSize())}
-	var runs []*workload.Result
 	var specs [][]workload.ClientSpec
+	var runSpecs []workload.RunSpec
 	for _, ib := range incBatches {
 		clients := o.hetClients(ib)
-		res, err := o.run(workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, clients)
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, res)
 		specs = append(specs, clients)
+		runSpecs = append(runSpecs, workload.RunSpec{
+			Config:  workload.Config{Kind: workload.Olympian, Quantum: o.quantum()},
+			Clients: clients,
+		})
+	}
+	runs, err := o.runAll(runSpecs)
+	if err != nil {
+		return nil, err
 	}
 	d0, d1 := runs[0].Finishes.Durations(), runs[1].Finishes.Durations()
 	for c := range d0 {

@@ -6,6 +6,7 @@ import (
 
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/par"
 	"olympian/internal/profiler"
 	"olympian/internal/workload"
 )
@@ -24,13 +25,12 @@ func Fig3(o Options) (*Report, error) {
 	clients := o.homogeneous(n)
 	r.Headers = []string{"client", "run-1", "run-2"}
 
-	var runs []*workload.Result
-	for i, seed := range []int64{o.Seed, o.Seed + 17} {
-		res, err := o.run(workload.Config{Seed: seed, Kind: workload.Vanilla}, clients)
-		if err != nil {
-			return nil, fmt.Errorf("fig3 run %d: %w", i+1, err)
-		}
-		runs = append(runs, res)
+	runs, err := o.runAll([]workload.RunSpec{
+		{Config: workload.Config{Seed: o.Seed, Kind: workload.Vanilla}, Clients: clients},
+		{Config: workload.Config{Seed: o.Seed + 17, Kind: workload.Vanilla}, Clients: clients},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
 	}
 	d1, d2 := runs[0].Finishes.Durations(), runs[1].Finishes.Durations()
 	for c := 0; c < n; c++ {
@@ -94,18 +94,21 @@ func Fig6(o Options) (*Report, error) {
 		entries = entries[:2]
 	}
 	r.Headers = []string{"model", "batch", "offline", "online", "overhead"}
+	// One independent measurement per DNN: fan out, then report in order.
+	overheads := make([]*profiler.OnlineOverhead, len(entries))
+	if err := par.For(len(entries), func(i int) error {
+		g, err := model.Build(entries[i].Model, o.scaleBatch(entries[i].Batch))
+		if err != nil {
+			return err
+		}
+		overheads[i], err = profiler.MeasureOnlineOverhead(g, profiler.DefaultOnlineTax, profiler.Options{Seed: o.Seed})
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var minOv, maxOv float64
-	for i, e := range entries {
-		batch := o.scaleBatch(e.Batch)
-		g, err := model.Build(e.Model, batch)
-		if err != nil {
-			return nil, err
-		}
-		oo, err := profiler.MeasureOnlineOverhead(g, profiler.DefaultOnlineTax, profiler.Options{Seed: o.Seed})
-		if err != nil {
-			return nil, err
-		}
-		r.AddRow(e.Model, fmt.Sprintf("%d", batch),
+	for i, oo := range overheads {
+		r.AddRow(oo.Model, fmt.Sprintf("%d", oo.Batch),
 			metrics.FormatSeconds(oo.Offline), metrics.FormatSeconds(oo.Online),
 			fmt.Sprintf("%.1f%%", oo.Overhead*100))
 		if i == 0 || oo.Overhead < minOv {
@@ -140,29 +143,31 @@ func Fig8(o Options) (*Report, error) {
 	for _, q := range qs {
 		r.Headers = append(r.Headers, q.String())
 	}
-	var curves []*profiler.OverheadCurve
-	for _, e := range entries {
-		batch := o.scaleBatch(e.Batch)
-		g, err := model.Build(e.Model, batch)
+	// Each DNN's curve is an independent sweep (and each sweep's Q points
+	// run in parallel inside MeasureOverheadCurve): trace them all at once.
+	curves := make([]*profiler.OverheadCurve, len(entries))
+	if err := par.For(len(entries), func(i int) error {
+		g, err := model.Build(entries[i].Model, o.scaleBatch(entries[i].Batch))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prof, err := profiler.ProfileSolo(g, profiler.Options{Seed: o.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		curve, err := profiler.MeasureOverheadCurve(g, prof, qs, profiler.Options{Seed: o.Seed})
-		if err != nil {
-			return nil, err
-		}
-		curves = append(curves, curve)
-		row := []string{e.Model, fmt.Sprintf("%d", batch)}
+		curves[i], err = profiler.MeasureOverheadCurve(g, prof, qs, profiler.Options{Seed: o.Seed})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for _, curve := range curves {
+		row := []string{curve.Model, fmt.Sprintf("%d", curve.Batch)}
 		for _, pt := range curve.Points {
 			row = append(row, fmt.Sprintf("%.1f%%", pt.Overhead*100))
 		}
 		r.Rows = append(r.Rows, row)
 		first, last := curve.Points[0].Overhead, curve.Points[len(curve.Points)-1].Overhead
-		r.SetMetric("first_minus_last_"+e.Model, first-last)
+		r.SetMetric("first_minus_last_"+curve.Model, first-last)
 	}
 	const tolerance = 0.025
 	chosen := profiler.ChooseQForSet(curves, tolerance)
@@ -183,29 +188,25 @@ func Spatial(o Options) (*Report, error) {
 		Title: "Spatial multiplexing headroom: 2 concurrent jobs vs 1",
 		Paper: "two concurrent Inception jobs take twice as long as one at large batch",
 	}
-	run := func(batch, n int) (time.Duration, error) {
+	spec := func(batch, n int) workload.RunSpec {
 		clients := make([]workload.ClientSpec, n)
 		for i := range clients {
 			clients[i] = workload.ClientSpec{Model: model.Inception, Batch: batch, Batches: 1}
 		}
-		res, err := o.run(workload.Config{Kind: workload.Vanilla}, clients)
-		if err != nil {
-			return 0, err
-		}
-		return res.Elapsed, nil
+		return workload.RunSpec{Config: workload.Config{Kind: workload.Vanilla}, Clients: clients}
 	}
 	r.Headers = []string{"batch", "1 job", "2 jobs", "slowdown"}
 	big, small := o.batchSize(), 10
+	// All four (batch, concurrency) cells are independent runs.
+	results, err := o.runAll([]workload.RunSpec{
+		spec(small, 1), spec(small, 2), spec(big, 1), spec(big, 2),
+	})
+	if err != nil {
+		return nil, err
+	}
 	var bigRatio, smallRatio float64
-	for _, batch := range []int{small, big} {
-		one, err := run(batch, 1)
-		if err != nil {
-			return nil, err
-		}
-		two, err := run(batch, 2)
-		if err != nil {
-			return nil, err
-		}
+	for i, batch := range []int{small, big} {
+		one, two := results[2*i].Elapsed, results[2*i+1].Elapsed
 		ratio := two.Seconds() / one.Seconds()
 		if batch == big {
 			bigRatio = ratio

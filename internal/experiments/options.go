@@ -17,8 +17,9 @@ type Options struct {
 	// Seed drives all randomness; defaults to 1.
 	Seed int64
 	// Profiles caches offline profiles across experiments. Optional; a
-	// private cache is used when nil.
-	Profiles map[workload.ModelRef]*profiler.Result
+	// private store is used when nil. The store is concurrency-safe, so one
+	// instance may back parallel runs and repeated experiments.
+	Profiles *profiler.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -26,7 +27,7 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	if o.Profiles == nil {
-		o.Profiles = make(map[workload.ModelRef]*profiler.Result)
+		o.Profiles = profiler.NewStore()
 	}
 	return o
 }
@@ -99,19 +100,45 @@ func (o Options) ensureProfiles(clients []workload.ClientSpec, spec gpu.Spec) er
 	return workload.Profile(o.Profiles, refs, spec, o.Seed+900)
 }
 
-// run executes a workload with the shared profile cache.
-func (o Options) run(cfg workload.Config, clients []workload.ClientSpec) (*workload.Result, error) {
+// fill applies the experiment-wide defaults (platform, seed, shared profile
+// store, profile warm-up) to one run.
+func (o Options) fill(cfg workload.Config, clients []workload.ClientSpec) (workload.Config, error) {
 	if cfg.Spec.Name == "" {
 		cfg.Spec = gpu.GTX1080Ti
 	}
 	if cfg.Kind != workload.Vanilla {
 		if err := o.ensureProfiles(clients, cfg.Spec); err != nil {
-			return nil, err
+			return cfg, err
 		}
 	}
 	cfg.Profiles = o.Profiles
 	if cfg.Seed == 0 {
 		cfg.Seed = o.Seed
 	}
+	return cfg, nil
+}
+
+// run executes a workload with the shared profile cache.
+func (o Options) run(cfg workload.Config, clients []workload.ClientSpec) (*workload.Result, error) {
+	cfg, err := o.fill(cfg, clients)
+	if err != nil {
+		return nil, err
+	}
 	return workload.Run(cfg, clients)
+}
+
+// runAll executes several runs concurrently (worker pool bounded by
+// GOMAXPROCS) and returns their results in input order. Profiles for every
+// run are warmed into the shared store first, so the parallel runs only
+// read it; results are identical to calling o.run on each spec serially.
+func (o Options) runAll(specs []workload.RunSpec) ([]*workload.Result, error) {
+	filled := make([]workload.RunSpec, len(specs))
+	for i, sp := range specs {
+		cfg, err := o.fill(sp.Config, sp.Clients)
+		if err != nil {
+			return nil, err
+		}
+		filled[i] = workload.RunSpec{Config: cfg, Clients: sp.Clients}
+	}
+	return workload.Results(workload.RunMany(filled))
 }

@@ -9,6 +9,7 @@ import (
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/par"
 	"olympian/internal/profiler"
 	"olympian/internal/workload"
 )
@@ -30,31 +31,34 @@ func Fig20(o Options) (*Report, error) {
 		fitBatches = []int{30, 60}
 		evalBatches = []int{45}
 	}
-	var points []struct {
+	// Profile the two fit batches in parallel, then fit the linear model.
+	points := make([]struct {
 		Graph  *graph.Graph
 		Result *profiler.Result
-	}
-	for i, b := range fitBatches {
-		g, err := model.Build(model.Inception, b)
+	}, len(fitBatches))
+	if err := par.For(len(fitBatches), func(i int) error {
+		g, err := model.Build(model.Inception, fitBatches[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prof, err := profiler.ProfileSolo(g, profiler.Options{Seed: o.Seed + int64(i)})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		points = append(points, struct {
-			Graph  *graph.Graph
-			Result *profiler.Result
-		}{g, prof})
+		points[i].Graph, points[i].Result = g, prof
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	lm, err := profiler.FitLinearModel(points)
 	if err != nil {
 		return nil, err
 	}
 	r.Headers = []string{"batch", "min finish", "max finish", "spread"}
-	var worstSpread float64
-	for _, b := range evalBatches {
+	// Each eval batch is an independent run with its own predicted-profile
+	// override.
+	specs := make([]workload.RunSpec, len(evalBatches))
+	for i, b := range evalBatches {
 		g, err := model.Build(model.Inception, b)
 		if err != nil {
 			return nil, err
@@ -64,23 +68,30 @@ func Fig20(o Options) (*Report, error) {
 			return nil, err
 		}
 		clients := make([]workload.ClientSpec, o.clients())
-		for i := range clients {
-			clients[i] = workload.ClientSpec{Model: model.Inception, Batch: b, Batches: o.batches()}
+		for j := range clients {
+			clients[j] = workload.ClientSpec{Model: model.Inception, Batch: b, Batches: o.batches()}
 		}
 		ref := workload.ModelRef{Model: model.Inception, Batch: b}
-		res, err := o.run(workload.Config{
-			Kind:             workload.Olympian,
-			Quantum:          o.quantum(),
-			ProfileOverrides: map[workload.ModelRef]*profiler.Result{ref: pred},
-		}, clients)
-		if err != nil {
-			return nil, err
+		specs[i] = workload.RunSpec{
+			Config: workload.Config{
+				Kind:             workload.Olympian,
+				Quantum:          o.quantum(),
+				ProfileOverrides: map[workload.ModelRef]*profiler.Result{ref: pred},
+			},
+			Clients: clients,
 		}
+	}
+	results, err := o.runAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	var worstSpread float64
+	for i, res := range results {
 		s := res.Finishes.Summary()
 		if s.Spread() > worstSpread {
 			worstSpread = s.Spread()
 		}
-		r.AddRow(fmt.Sprintf("%d", b),
+		r.AddRow(fmt.Sprintf("%d", evalBatches[i]),
 			fmt.Sprintf("%.2fs", s.Min), fmt.Sprintf("%.2fs", s.Max),
 			fmt.Sprintf("%.3fx", s.Spread()))
 	}
@@ -97,7 +108,7 @@ func Fig21(o Options) (*Report, error) {
 	o = o.withDefaults()
 	// Profiles are platform-specific: use a private cache so Titan X
 	// profiles are not polluted by (or reused as) GTX 1080 Ti ones.
-	o.Profiles = make(map[workload.ModelRef]*profiler.Result)
+	o.Profiles = profiler.NewStore()
 	r := &Report{
 		ID:    "fig21",
 		Title: "Portability: fair sharing on a Titan X",
@@ -129,32 +140,43 @@ func Table2(o Options) (*Report, error) {
 		Paper: "Table 2 of the paper",
 	}
 	r.Headers = []string{"model", "batch", "nodes", "GPU nodes", "runtime", "paper runtime"}
-	var worstErr float64
-	for _, e := range model.Table2() {
-		batch := e.Batch
+	// Build and profile the seven models in parallel; emit rows in table order.
+	entries := model.Table2()
+	batches := make([]int, len(entries))
+	graphs := make([]*graph.Graph, len(entries))
+	profs := make([]*profiler.Result, len(entries))
+	if err := par.For(len(entries), func(i int) error {
+		batches[i] = entries[i].Batch
 		if o.Quick {
-			batch = o.scaleBatch(batch)
+			batches[i] = o.scaleBatch(batches[i])
 		}
-		g, err := model.Build(e.Model, batch)
+		g, err := model.Build(entries[i].Model, batches[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prof, err := profiler.ProfileSolo(g, profiler.Options{Seed: o.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s := g.Stats()
+		graphs[i], profs[i] = g, prof
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var worstErr float64
+	for i, e := range entries {
+		s := graphs[i].Stats()
 		paperRt := "-"
-		if batch == e.Batch {
+		if batches[i] == e.Batch {
 			paperRt = metrics.FormatSeconds(e.Runtime)
-			rerr := relDiff(prof.Runtime.Seconds(), e.Runtime.Seconds())
+			rerr := relDiff(profs[i].Runtime.Seconds(), e.Runtime.Seconds())
 			if rerr > worstErr {
 				worstErr = rerr
 			}
 		}
-		r.AddRow(e.Model, fmt.Sprintf("%d", batch),
+		r.AddRow(e.Model, fmt.Sprintf("%d", batches[i]),
 			fmt.Sprintf("%d", s.Nodes), fmt.Sprintf("%d", s.GPUNodes),
-			metrics.FormatSeconds(prof.Runtime), paperRt)
+			metrics.FormatSeconds(profs[i].Runtime), paperRt)
 	}
 	if !o.Quick {
 		r.AddNote("worst runtime deviation from the paper's Table 2: %.0f%%", worstErr*100)
@@ -196,20 +218,26 @@ func Utilization(o Options) (*Report, error) {
 		cfg     workload.Config
 		clients []workload.ClientSpec
 	}
+	// Fresh Policy instances per row: the four systems run concurrently.
 	rows := []cfgRow{
 		{"tf-serving", workload.Config{Kind: workload.Vanilla}, mk(false, false)},
 		{"olympian-fair", workload.Config{Kind: workload.Olympian, Quantum: o.quantum()}, mk(false, false)},
 		{"olympian-weighted", workload.Config{Kind: workload.Olympian, Quantum: o.quantum(), Policy: core.NewWeightedFair()}, mk(true, false)},
 		{"olympian-priority", workload.Config{Kind: workload.Olympian, Quantum: o.quantum(), Policy: core.NewPriority()}, mk(false, true)},
 	}
+	specs := make([]workload.RunSpec, len(rows))
+	for i, row := range rows {
+		specs[i] = workload.RunSpec{Config: row.cfg, Clients: row.clients}
+	}
+	results, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("utilization: %w", err)
+	}
 	r.Headers = []string{"system", "utilization", "SM efficiency", "last finish"}
 	utils := make(map[string]float64, len(rows))
 	smeff := make(map[string]float64, len(rows))
-	for _, row := range rows {
-		res, err := o.run(row.cfg, row.clients)
-		if err != nil {
-			return nil, fmt.Errorf("utilization %s: %w", row.label, err)
-		}
+	for i, row := range rows {
+		res := results[i]
 		utils[row.label] = res.Utilization
 		smeff[row.label] = res.SMEfficiency
 		r.AddRow(row.label, fmt.Sprintf("%.2f%%", res.Utilization*100),
@@ -260,7 +288,12 @@ func Scalability(o Options) (*Report, error) {
 		batch = 40
 	}
 	r.Headers = []string{"clients", "system", "peak threads", "delayed", "completed"}
-	var vanDone, olyDone float64
+	// Every (count, system) cell is an independent run, and a failed run is a
+	// data point here (the pool stalling IS the result), so use RunMany
+	// directly to keep per-run outcomes instead of runAll's first-error
+	// collapse.
+	kinds := []workload.SchedulerKind{workload.Vanilla, workload.Olympian}
+	specs := make([]workload.RunSpec, 0, len(counts)*len(kinds))
 	for _, n := range counts {
 		clients := make([]workload.ClientSpec, n)
 		for i := range clients {
@@ -270,27 +303,36 @@ func Scalability(o Options) (*Report, error) {
 				ArriveAt: time.Duration(i) * 5 * time.Millisecond,
 			}
 		}
-		for _, kind := range []workload.SchedulerKind{workload.Vanilla, workload.Olympian} {
-			res, err := o.run(workload.Config{
+		for _, kind := range kinds {
+			cfg, err := o.fill(workload.Config{
 				Kind:       kind,
 				Quantum:    o.quantum(),
 				MaxVirtual: 10 * time.Minute,
 			}, clients)
-			completed := err == nil
-			peak, delayed := 0, 0
-			if res != nil {
-				peak = res.Pool.PeakInUse
-				delayed = res.Pool.Delayed
+			if err != nil {
+				return nil, err
 			}
-			r.AddRow(fmt.Sprintf("%d", n), kind.String(),
-				fmt.Sprintf("%d", peak), fmt.Sprintf("%d", delayed),
-				fmt.Sprintf("%v", completed))
-			if completed {
-				if kind == workload.Vanilla {
-					vanDone = float64(n)
-				} else {
-					olyDone = float64(n)
-				}
+			specs = append(specs, workload.RunSpec{Config: cfg, Clients: clients})
+		}
+	}
+	outcomes := workload.RunMany(specs)
+	var vanDone, olyDone float64
+	for i, out := range outcomes {
+		n, kind := counts[i/len(kinds)], kinds[i%len(kinds)]
+		completed := out.Err == nil
+		peak, delayed := 0, 0
+		if out.Result != nil {
+			peak = out.Result.Pool.PeakInUse
+			delayed = out.Result.Pool.Delayed
+		}
+		r.AddRow(fmt.Sprintf("%d", n), kind.String(),
+			fmt.Sprintf("%d", peak), fmt.Sprintf("%d", delayed),
+			fmt.Sprintf("%v", completed))
+		if completed {
+			if kind == workload.Vanilla {
+				vanDone = float64(n)
+			} else {
+				olyDone = float64(n)
 			}
 		}
 	}

@@ -21,7 +21,9 @@ func Fig17(o Options) (*Report, error) {
 		Paper: "heavy/light finish ratio matches (k+1)/2k: 0.75 and 0.55",
 	}
 	n := o.clients()
-	run := func(k int) (*workload.Result, error) {
+	// Each run needs its own policy instance: stateful policies must not be
+	// shared across concurrent schedulers.
+	spec := func(k int) workload.RunSpec {
 		clients := o.homogeneous(n)
 		for i := range clients {
 			if i < n/2 {
@@ -30,22 +32,21 @@ func Fig17(o Options) (*Report, error) {
 				clients[i].Weight = 1
 			}
 		}
-		return o.run(workload.Config{
-			Kind:    workload.Olympian,
-			Policy:  core.NewWeightedFair(),
-			Quantum: o.quantum(),
-		}, clients)
+		return workload.RunSpec{
+			Config: workload.Config{
+				Kind:    workload.Olympian,
+				Policy:  core.NewWeightedFair(),
+				Quantum: o.quantum(),
+			},
+			Clients: clients,
+		}
 	}
 	r.Headers = []string{"client", "weight(2:1)", "finish(2:1)", "weight(10:1)", "finish(10:1)"}
-	res2, err := run(2)
+	results, err := o.runAll([]workload.RunSpec{spec(2), spec(10)})
 	if err != nil {
 		return nil, err
 	}
-	res10, err := run(10)
-	if err != nil {
-		return nil, err
-	}
-	d2, d10 := res2.Finishes.Durations(), res10.Finishes.Durations()
+	d2, d10 := results[0].Finishes.Durations(), results[1].Finishes.Durations()
 	for c := 0; c < n; c++ {
 		w2, w10 := 1, 1
 		if c < n/2 {
@@ -78,7 +79,7 @@ func Fig18(o Options) (*Report, error) {
 		Paper: "strict priorities serialize jobs; tiers fair-share internally",
 	}
 	n := o.clients()
-	run := func(levels int) (*workload.Result, error) {
+	spec := func(levels int) workload.RunSpec {
 		clients := o.homogeneous(n)
 		for i := range clients {
 			if levels >= n {
@@ -89,21 +90,20 @@ func Fig18(o Options) (*Report, error) {
 				clients[i].Priority = 1
 			}
 		}
-		return o.run(workload.Config{
-			Kind:    workload.Olympian,
-			Policy:  core.NewPriority(),
-			Quantum: o.quantum(),
-		}, clients)
+		return workload.RunSpec{
+			Config: workload.Config{
+				Kind:    workload.Olympian,
+				Policy:  core.NewPriority(), // fresh instance per concurrent run
+				Quantum: o.quantum(),
+			},
+			Clients: clients,
+		}
 	}
-	strict, err := run(n)
+	results, err := o.runAll([]workload.RunSpec{spec(n), spec(2)})
 	if err != nil {
 		return nil, err
 	}
-	twoTier, err := run(2)
-	if err != nil {
-		return nil, err
-	}
-	ds, d2 := strict.Finishes.Durations(), twoTier.Finishes.Durations()
+	ds, d2 := results[0].Finishes.Durations(), results[1].Finishes.Durations()
 	r.Headers = []string{"client", "strict-priority", "2-level-priority"}
 	for c := 0; c < n; c++ {
 		r.AddRow(fmt.Sprintf("%d", c), metrics.FormatSeconds(ds[c]), metrics.FormatSeconds(d2[c]))
@@ -137,17 +137,17 @@ func Fig19(o Options) (*Report, error) {
 		Paper: "wall-clock quanta give unequal finish times and GPU shares",
 	}
 	// Left: homogeneous workload under the wall-clock strawman.
-	homog := o.homogeneous(o.clients())
-	left, err := o.run(workload.Config{Kind: workload.WallClockSlicing, Quantum: o.quantum()}, homog)
-	if err != nil {
-		return nil, err
-	}
 	// Right: heterogeneous workload; compare per-client GPU durations.
+	homog := o.homogeneous(o.clients())
 	het := o.hetClients(o.batchSize())
-	right, err := o.run(workload.Config{Kind: workload.WallClockSlicing, Quantum: o.quantum()}, het)
+	results, err := o.runAll([]workload.RunSpec{
+		{Config: workload.Config{Kind: workload.WallClockSlicing, Quantum: o.quantum()}, Clients: homog},
+		{Config: workload.Config{Kind: workload.WallClockSlicing, Quantum: o.quantum()}, Clients: het},
+	})
 	if err != nil {
 		return nil, err
 	}
+	left, right := results[0], results[1]
 	r.Headers = []string{"client", "homog finish", "het model", "het mean GPU/quantum"}
 	dl := left.Finishes.Durations()
 	stats := quantumStats(right, len(het))

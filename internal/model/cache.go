@@ -1,0 +1,48 @@
+package model
+
+import (
+	"sync"
+
+	"olympian/internal/graph"
+)
+
+// The build cache memoizes graph construction per (name, batch). Graphs are
+// read-only after Finalize — the executor and scheduler never mutate nodes —
+// so one shared instance can back any number of concurrent runs. Entries use
+// a ready channel so concurrent first builds of the same model are
+// single-flight: one goroutine constructs, the rest wait.
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey]*cacheEntry{}
+)
+
+type cacheKey struct {
+	name  string
+	batch int
+}
+
+type cacheEntry struct {
+	ready chan struct{}
+	g     *graph.Graph
+	err   error
+}
+
+// Build returns the (shared, read-only) dataflow graph for the given model
+// and batch size, constructing and caching it on first use. It is safe for
+// concurrent use.
+func Build(name string, batch int) (*graph.Graph, error) {
+	k := cacheKey{name, batch}
+	cacheMu.Lock()
+	ent, ok := cache[k]
+	if !ok {
+		ent = &cacheEntry{ready: make(chan struct{})}
+		cache[k] = ent
+		cacheMu.Unlock()
+		ent.g, ent.err = BuildUncached(name, batch)
+		close(ent.ready)
+		return ent.g, ent.err
+	}
+	cacheMu.Unlock()
+	<-ent.ready
+	return ent.g, ent.err
+}

@@ -186,10 +186,12 @@ func bodyOccupancy(batch int) float64 {
 	return occ
 }
 
-// Build constructs the model's dataflow graph for the given batch size.
-// Graph construction is deterministic: the same (name, batch) always yields
-// an identical graph.
-func Build(name string, batch int) (*graph.Graph, error) {
+// BuildUncached constructs the model's dataflow graph for the given batch
+// size, bypassing the package cache. Graph construction is deterministic:
+// the same (name, batch) always yields an identical graph. Most callers
+// want Build, which memoizes; BuildUncached exists for benchmarks that
+// measure construction cost and for callers that intend to mutate the graph.
+func BuildUncached(name string, batch int) (*graph.Graph, error) {
 	d, ok := defs[name]
 	if !ok {
 		return nil, fmt.Errorf("model: unknown model %q", name)

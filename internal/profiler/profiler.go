@@ -27,6 +27,7 @@ import (
 	"olympian/internal/gpu"
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
+	"olympian/internal/par"
 	"olympian/internal/sim"
 )
 
@@ -133,25 +134,30 @@ type Stability struct {
 	RuntimeStd  time.Duration
 }
 
-// MeasureStability profiles g `runs` times with varying seeds.
+// MeasureStability profiles g `runs` times with varying seeds. The runs are
+// independent simulations and execute in parallel; per-seed results land in
+// their index slot, so the summary is identical to a serial sweep.
 func MeasureStability(g *graph.Graph, runs int, opts Options) (*Stability, error) {
 	opts = opts.withDefaults()
 	if opts.Jitter == 0 {
 		opts.Jitter = 0.03
 	}
-	costs := make([]float64, 0, runs)
-	durs := make([]float64, 0, runs)
-	rts := make([]float64, 0, runs)
-	for i := 0; i < runs; i++ {
+	costs := make([]float64, runs)
+	durs := make([]float64, runs)
+	rts := make([]float64, runs)
+	if err := par.For(runs, func(i int) error {
 		o := opts
 		o.Seed = opts.Seed + int64(i)*7919
 		r, err := ProfileSolo(g, o)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		costs = append(costs, float64(r.TotalCost))
-		durs = append(durs, float64(r.GPUDuration))
-		rts = append(rts, float64(r.Runtime))
+		costs[i] = float64(r.TotalCost)
+		durs[i] = float64(r.GPUDuration)
+		rts[i] = float64(r.Runtime)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	cs := metrics.Summarize(costs)
 	ds := metrics.Summarize(durs)
@@ -199,17 +205,24 @@ func MeasureOverheadCurve(g *graph.Graph, prof *Result, qs []time.Duration, opts
 	if len(qs) == 0 {
 		qs = DefaultQSweep()
 	}
-	base, err := pairFinish(g, nil, 0, opts)
-	if err != nil {
+	// The vanilla baseline and every Q point are independent simulations:
+	// trace them all in parallel, then derive overheads.
+	finishes := make([]time.Duration, len(qs)+1)
+	if err := par.For(len(qs)+1, func(i int) error {
+		var err error
+		if i == 0 {
+			finishes[0], err = pairFinish(g, nil, 0, opts)
+		} else {
+			finishes[i], err = pairFinish(g, prof, qs[i-1], opts)
+		}
+		return err
+	}); err != nil {
 		return nil, err
 	}
+	base := finishes[0]
 	curve := &OverheadCurve{Model: g.Model, Batch: g.BatchSize}
-	for _, q := range qs {
-		t, err := pairFinish(g, prof, q, opts)
-		if err != nil {
-			return nil, err
-		}
-		ov := (t - base).Seconds() / base.Seconds()
+	for i, q := range qs {
+		ov := (finishes[i+1] - base).Seconds() / base.Seconds()
 		if ov < 0 {
 			ov = 0
 		}

@@ -9,14 +9,22 @@
 // experiment is reproducible from its seed.
 //
 // Concurrency model: the event loop and all processes pass a single "baton".
-// The loop dispatches a process by signalling its resume channel and then
-// blocks until the process parks again. Process code therefore runs under
-// total mutual exclusion and may freely mutate shared simulation state
-// between blocking points without locks.
+// Whichever goroutine holds the baton runs the event loop in place (see
+// runLoop); dispatching another process hands the baton over its resume
+// channel, and when a dispatched process happens to be the one that just
+// parked, the loop returns directly into it with no channel traffic at all.
+// Process code therefore runs under total mutual exclusion and may freely
+// mutate shared simulation state between blocking points without locks.
+//
+// Event representation: the queue is a 4-ary min-heap of event values —
+// no container/heap interface boxing, no per-event pointer allocation. An
+// event is either a callback (fn) or the resumption of a parked process
+// (proc); the dedicated dispatch kind keeps Sleep, Event.Trigger, and
+// Cond.Signal from allocating a wakeup closure. Vacated heap slots are
+// recycled in place, so the backing array doubles as the event free list.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -41,33 +49,70 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 // String formats the time as a duration since the start of the run.
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled callback.
+// event is a scheduled occurrence: a callback when fn is set, or the
+// resumption of a parked process when proc is set.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
-type eventHeap []*event
+// eventHeap is a 4-ary min-heap of event values ordered by (at, seq).
+// Compared with container/heap's binary heap of pointers it needs no
+// interface conversions, no per-event allocation, and half the tree depth;
+// sibling comparisons stay within one or two cache lines.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventBefore(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventBefore(&s[i], &s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release closure/proc references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if eventBefore(&s[j], &s[m]) {
+				m = j
+			}
+		}
+		if !eventBefore(&s[m], &s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // Env is a simulation environment: a virtual clock, an event queue, and the
@@ -78,23 +123,22 @@ type Env struct {
 	seq    uint64
 	rng    *rand.Rand
 
-	baton   chan struct{} // signalled by a proc when it parks or exits
+	mainCh  chan struct{} // returns the baton to Run's goroutine
 	cur     *Proc
 	live    int // non-daemon procs that have started and not yet exited
-	parked  map[*Proc]string
 	procs   map[*Proc]struct{}
 	procSeq int
 
-	stopped bool
-	limit   Time // 0 means no limit
+	stopped  bool
+	shutdown bool
+	limit    Time // 0 means no limit
 }
 
 // NewEnv returns an environment whose random source is seeded with seed.
 func NewEnv(seed int64) *Env {
 	return &Env{
 		rng:    rand.New(rand.NewSource(seed)),
-		baton:  make(chan struct{}),
-		parked: make(map[*Proc]string),
+		mainCh: make(chan struct{}),
 		procs:  make(map[*Proc]struct{}),
 	}
 }
@@ -114,7 +158,14 @@ func (e *Env) Schedule(d Duration, fn func()) {
 		d = 0
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: e.now.Add(d), seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now.Add(d), seq: e.seq, fn: fn})
+}
+
+// scheduleProc queues the resumption of p at time e.Now()+d. Unlike
+// Schedule, it allocates nothing: the wakeup is a plain heap entry.
+func (e *Env) scheduleProc(d Duration, p *Proc) {
+	e.seq++
+	e.events.push(event{at: e.now.Add(d), seq: e.seq, proc: p})
 }
 
 // Stop halts the run after the current event completes.
@@ -126,6 +177,7 @@ type Proc struct {
 	id     int
 	name   string
 	resume chan struct{}
+	why    string // blocking reason while parked, for deadlock reports
 	dead   bool
 	daemon bool
 	killed bool
@@ -164,7 +216,7 @@ func (p *Proc) Now() Time { return p.env.now }
 // It may be called before Run or from process/event context during a run.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	e.procSeq++
-	p := &Proc{env: e, id: e.procSeq, name: name, resume: make(chan struct{})}
+	p := &Proc{env: e, id: e.procSeq, name: name, resume: make(chan struct{}), why: "start"}
 	e.live++
 	e.procs[p] = struct{}{}
 	go func() {
@@ -177,9 +229,13 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 			e.live--
 		}
 		delete(e.procs, p)
-		e.baton <- struct{}{}
+		if e.shutdown {
+			e.mainCh <- struct{}{}
+			return
+		}
+		e.runLoop(p, true)
 	}()
-	e.Schedule(0, func() { e.dispatch(p) })
+	e.scheduleProc(0, p)
 	return p
 }
 
@@ -200,52 +256,95 @@ func runKillable(fn func(*Proc), p *Proc) {
 // their goroutines to exit. Call it once after Run returns; the environment
 // must not be used afterwards.
 func (e *Env) Shutdown() {
+	e.shutdown = true
 	for p := range e.procs {
 		if p.dead {
 			continue
 		}
 		p.killed = true
 		e.cur = p
-		delete(e.parked, p)
 		p.resume <- struct{}{}
-		<-e.baton
-		e.cur = nil
+		<-e.mainCh
+	}
+	e.cur = nil
+}
+
+// runLoop executes queued events on the calling goroutine. Exactly one
+// goroutine runs it at a time: the baton travels with control flow. self is
+// nil when Run's goroutine is looping; otherwise self just parked (or, with
+// exiting set, is about to die) and hands the baton onward.
+//
+// Fast path: when the next event resumes self, the loop returns straight
+// into it — a process that sleeps and is the next to run costs zero channel
+// operations and zero goroutine switches.
+func (e *Env) runLoop(self *Proc, exiting bool) {
+	for {
+		if len(e.events) == 0 || e.stopped || (e.limit > 0 && e.events[0].at > e.limit) {
+			// The run is over (for now): return the baton to Run's goroutine.
+			e.cur = nil
+			if self == nil {
+				return
+			}
+			e.mainCh <- struct{}{}
+			if exiting {
+				return
+			}
+			self.block() // until a later Run dispatches us again
+			return
+		}
+		ev := e.events.pop()
+		if ev.proc == nil {
+			e.now = ev.at
+			ev.fn()
+			continue
+		}
+		q := ev.proc
+		if q.dead {
+			continue
+		}
+		e.now = ev.at
+		q.why = ""
+		if q == self && !exiting {
+			e.cur = self
+			return // fast path: resume ourselves, no channel hop
+		}
+		e.cur = q
+		q.resume <- struct{}{}
+		switch {
+		case self == nil:
+			<-e.mainCh // wait for the baton to come home
+		case exiting:
+			return
+		default:
+			self.block()
+			return
+		}
 	}
 }
 
-// dispatch hands the baton to p and waits for it to park or exit.
-func (e *Env) dispatch(p *Proc) {
-	if p.dead {
-		return
-	}
-	prev := e.cur
-	e.cur = p
-	delete(e.parked, p)
-	p.resume <- struct{}{}
-	<-e.baton
-	e.cur = prev
-}
-
-// park returns control to the event loop and blocks until redispatched.
-// why records the blocking reason for deadlock reports.
-func (p *Proc) park(why string) {
-	p.env.parked[p] = why
-	p.env.baton <- struct{}{}
+// block parks the goroutine until redispatched, unwinding if killed.
+func (p *Proc) block() {
 	<-p.resume
 	if p.killed {
 		panic(killSentinel{})
 	}
 }
 
-// Sleep suspends the process for virtual duration d.
+// park records why the process is blocked and runs the event loop in place
+// until something redispatches it.
+func (p *Proc) park(why string) {
+	p.why = why
+	p.env.runLoop(p, false)
+}
+
+// Sleep suspends the process for virtual duration d. Even a zero sleep is a
+// scheduling point: it yields to other same-time events in deterministic
+// order.
 func (p *Proc) Sleep(d Duration) {
-	if d <= 0 {
-		// Even a zero sleep is a scheduling point: it yields to other
-		// same-time events in deterministic order.
+	if d < 0 {
 		d = 0
 	}
-	e := p.env
-	e.Schedule(d, func() { e.dispatch(p) })
+	p.env.scheduleProc(d, p)
 	p.park("sleep")
 }
 
@@ -257,15 +356,8 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // optional time limit is reached. It returns an error if live processes
 // remain parked with no runnable events (deadlock).
 func (e *Env) Run() error {
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if e.limit > 0 && ev.at > e.limit {
-			return nil
-		}
-		e.now = ev.at
-		ev.fn()
-	}
-	if !e.stopped && e.live > 0 {
+	e.runLoop(nil, false)
+	if !e.stopped && len(e.events) == 0 && e.live > 0 {
 		return e.deadlockError()
 	}
 	return nil
@@ -284,8 +376,11 @@ func (e *Env) deadlockError() error {
 		name, why string
 	}
 	var list []stuck
-	for p, why := range e.parked {
-		list = append(list, stuck{p.name, why})
+	for p := range e.procs {
+		if p.dead {
+			continue
+		}
+		list = append(list, stuck{p.name, p.why})
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
 	msg := fmt.Sprintf("sim: deadlock at %v: %d live procs, none runnable", e.now, e.live)
@@ -321,8 +416,7 @@ func (ev *Event) Trigger() {
 	}
 	ev.triggered = true
 	for _, p := range ev.waiters {
-		w := p
-		ev.env.Schedule(0, func() { ev.env.dispatch(w) })
+		ev.env.scheduleProc(0, p)
 	}
 	ev.waiters = nil
 }
@@ -345,17 +439,20 @@ type Cond struct {
 	env     *Env
 	waiters []*Proc
 	label   string
+	parkWhy string // "cond:"+label, precomputed so Wait never allocates it
 }
 
 // NewCond returns a condition variable; label appears in deadlock reports.
-func (e *Env) NewCond(label string) *Cond { return &Cond{env: e, label: label} }
+func (e *Env) NewCond(label string) *Cond {
+	return &Cond{env: e, label: label, parkWhy: "cond:" + label}
+}
 
 // Wait blocks p until another process calls Signal or Broadcast. Callers
 // must re-check their condition in a loop: a wake-up does not imply the
 // condition holds.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	p.park("cond:" + c.label)
+	p.park(c.parkWhy)
 }
 
 // Signal wakes the longest-waiting process, if any.
@@ -365,14 +462,13 @@ func (c *Cond) Signal() {
 	}
 	p := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.env.Schedule(0, func() { c.env.dispatch(p) })
+	c.env.scheduleProc(0, p)
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
 func (c *Cond) Broadcast() {
 	for _, p := range c.waiters {
-		w := p
-		c.env.Schedule(0, func() { c.env.dispatch(w) })
+		c.env.scheduleProc(0, p)
 	}
 	c.waiters = nil
 }

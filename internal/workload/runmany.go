@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+
+	"olympian/internal/par"
+)
+
+// RunSpec pairs one run's configuration with its client set.
+//
+// Specs handed to RunMany must be independent: each spec needs its own
+// Policy instance (stateful policies cannot be shared across concurrent
+// schedulers — see policyClone), while Profiles stores, ProfileOverrides
+// maps, and the graphs behind model.Build are read-only and safe to share.
+type RunSpec struct {
+	Config  Config
+	Clients []ClientSpec
+}
+
+// Outcome is one spec's result in a RunMany batch. Err carries the run's
+// error (if any); Result is non-nil even for some failed runs — Run reports
+// partial measurements alongside errors (e.g. pool pressure at deadlock),
+// and experiments inspect both.
+type Outcome struct {
+	Result *Result
+	Err    error
+}
+
+// RunMany executes the given specs concurrently on a worker pool bounded by
+// GOMAXPROCS. Each run is a self-contained simulation with its own virtual
+// clock and seeded randomness, so outcome i is bit-identical to calling
+// Run(specs[i].Config, specs[i].Clients) serially; only wall-clock time
+// changes. Outcomes are returned in spec order regardless of completion
+// order.
+func RunMany(specs []RunSpec) []Outcome {
+	out := make([]Outcome, len(specs))
+	par.For(len(specs), func(i int) error {
+		out[i].Result, out[i].Err = Run(specs[i].Config, specs[i].Clients)
+		return nil
+	})
+	return out
+}
+
+// Results unpacks outcomes into their results, returning the first error in
+// spec order (the error a serial loop would have hit first), if any.
+func Results(outs []Outcome) ([]*Result, error) {
+	res := make([]*Result, len(outs))
+	for i, o := range outs {
+		res[i] = o.Result
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			return res, fmt.Errorf("run %d: %w", i, o.Err)
+		}
+	}
+	return res, nil
+}

@@ -16,6 +16,7 @@ import (
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/par"
 	"olympian/internal/profiler"
 	"olympian/internal/sim"
 )
@@ -78,6 +79,9 @@ type ClientSpec struct {
 // Ref returns the client's model reference.
 func (c ClientSpec) Ref() ModelRef { return ModelRef{Model: c.Model, Batch: c.Batch} }
 
+// Key converts the reference to a profile-store key.
+func (r ModelRef) Key() profiler.Key { return profiler.Key{Model: r.Model, Batch: r.Batch} }
+
 // Config parameterises a run.
 type Config struct {
 	// Seed drives all randomness in the run.
@@ -97,8 +101,10 @@ type Config struct {
 	// ThreadPoolSize caps the shared pool (defaults to the engine default).
 	ThreadPoolSize int
 	// Profiles supplies precomputed offline profiles; missing entries are
-	// profiled on the fly for Olympian runs.
-	Profiles map[ModelRef]*profiler.Result
+	// profiled on the fly for Olympian runs (without being cached back, so a
+	// run's results never depend on which runs preceded it). The store is
+	// safe to share across concurrent RunMany runs.
+	Profiles *profiler.Store
 	// ProfileOverrides lets an experiment substitute predicted profiles
 	// (e.g. linear-model outputs, Figure 20). Applied after Profiles.
 	ProfileOverrides map[ModelRef]*profiler.Result
@@ -317,10 +323,16 @@ func buildGraphs(clients []ClientSpec) (map[ModelRef]*graph.Graph, error) {
 func attachProfiles(sched *core.Scheduler, graphs map[ModelRef]*graph.Graph, cfg Config) error {
 	for ref, g := range graphs {
 		prof := cfg.ProfileOverrides[ref]
-		if prof == nil {
-			prof = cfg.Profiles[ref]
+		if prof == nil && cfg.Profiles != nil {
+			if p, ok := cfg.Profiles.Get(ref.Key()); ok {
+				prof = p
+			}
 		}
 		if prof == nil {
+			// On-the-fly profile: seeded by this run, so it is deliberately
+			// NOT written back to the shared store — caching it under
+			// (model, batch) alone would make other runs' results depend on
+			// execution order.
 			p, err := profiler.ProfileSolo(g, profiler.Options{
 				Spec: cfg.Spec, Seed: cfg.Seed + 1000, Jitter: 0,
 			})
@@ -335,21 +347,27 @@ func attachProfiles(sched *core.Scheduler, graphs map[ModelRef]*graph.Graph, cfg
 }
 
 // Profile computes (and caches into dst) offline profiles for the given
-// refs; experiments use it to share profiling work across runs.
-func Profile(dst map[ModelRef]*profiler.Result, refs []ModelRef, spec gpu.Spec, seed int64) error {
+// refs; experiments use it to share profiling work across runs. Distinct
+// refs are profiled in parallel; each profile is deterministic in
+// (ref, spec, seed), so the store contents do not depend on timing.
+func Profile(dst *profiler.Store, refs []ModelRef, spec gpu.Spec, seed int64) error {
+	distinct := refs[:0:0]
+	seen := make(map[ModelRef]bool, len(refs))
 	for _, ref := range refs {
-		if _, ok := dst[ref]; ok {
-			continue
+		if !seen[ref] {
+			seen[ref] = true
+			distinct = append(distinct, ref)
 		}
-		g, err := model.Build(ref.Model, ref.Batch)
-		if err != nil {
-			return err
-		}
-		p, err := profiler.ProfileSolo(g, profiler.Options{Spec: spec, Seed: seed, Jitter: 0})
-		if err != nil {
-			return err
-		}
-		dst[ref] = p
 	}
-	return nil
+	return par.For(len(distinct), func(i int) error {
+		ref := distinct[i]
+		_, err := dst.GetOrCompute(ref.Key(), func() (*profiler.Result, error) {
+			g, err := model.Build(ref.Model, ref.Batch)
+			if err != nil {
+				return nil, err
+			}
+			return profiler.ProfileSolo(g, profiler.Options{Spec: spec, Seed: seed, Jitter: 0})
+		})
+		return err
+	})
 }

@@ -51,17 +51,21 @@ func TestRunOlympianProfilesOnTheFly(t *testing.T) {
 }
 
 func TestRunUsesSharedProfiles(t *testing.T) {
-	cache := make(map[ModelRef]*profiler.Result)
+	cache := profiler.NewStore()
 	refs := []ModelRef{{Model: model.Inception, Batch: 40}}
 	if err := Profile(cache, refs, gpu.GTX1080Ti, 1); err != nil {
 		t.Fatal(err)
 	}
-	if len(cache) != 1 {
-		t.Fatalf("cache size %d", len(cache))
+	if cache.Len() != 1 {
+		t.Fatalf("cache size %d", cache.Len())
 	}
+	first, _ := cache.Get(refs[0].Key())
 	// Re-profiling the same ref is a no-op.
 	if err := Profile(cache, refs, gpu.GTX1080Ti, 2); err != nil {
 		t.Fatal(err)
+	}
+	if again, _ := cache.Get(refs[0].Key()); again != first {
+		t.Fatal("re-profiling replaced the cached profile")
 	}
 	res, err := Run(Config{Seed: 1, Kind: Olympian, Profiles: cache}, smallClients(2, 1))
 	if err != nil {
