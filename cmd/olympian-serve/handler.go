@@ -24,6 +24,19 @@ func newHandler() http.Handler {
 	return mux
 }
 
+// maxRequestBody caps POST bodies: every request is a small JSON document,
+// so anything beyond 1 MiB is hostile or broken.
+const maxRequestBody = 1 << 20
+
+// decodeJSON parses a size-limited JSON request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -63,8 +76,8 @@ type profileRequest struct {
 
 func handleProfile(w http.ResponseWriter, r *http.Request) {
 	var req profileRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	spec := olympian.GTX1080Ti
@@ -166,8 +179,8 @@ func buildSimulation(req simulateRequest) (olympian.Config, []olympian.Client, e
 
 func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	cfg, clients, err := buildSimulation(req)
@@ -199,8 +212,8 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 // model) without running the simulation.
 func handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	policy := olympian.PlanFair
@@ -235,8 +248,8 @@ func handlePlan(w http.ResponseWriter, r *http.Request) {
 // Chrome trace (open with chrome://tracing or ui.perfetto.dev).
 func handleTrace(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Scheduler == "" {

@@ -133,3 +133,29 @@ func TestTraceEndpoint(t *testing.T) {
 		t.Fatal("trace output missing slices")
 	}
 }
+
+func TestOversizedBodyRejected(t *testing.T) {
+	h := newHandler()
+	big := `{"scheduler":"olympian","clients":[` +
+		strings.Repeat(`{"model":"inception-v4","batch":50},`, 40000) +
+		`{"model":"inception-v4","batch":50}]}`
+	if len(big) <= maxRequestBody {
+		t.Fatalf("test body only %d bytes, need > %d", len(big), maxRequestBody)
+	}
+	rec, _ := do(t, h, "POST", "/simulate", big)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized body status %d, want 400", rec.Code)
+	}
+}
+
+func TestChaosExperimentEndpoint(t *testing.T) {
+	h := newHandler()
+	rec, obj := do(t, h, "POST", "/experiments/chaos?quick=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run status %d: %v", rec.Code, obj)
+	}
+	metrics := obj["metrics"].(map[string]any)
+	if metrics["deterministic"].(float64) != 1 {
+		t.Fatalf("chaos run not deterministic: %v", metrics)
+	}
+}

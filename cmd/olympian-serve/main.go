@@ -20,11 +20,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 )
 
 func main() {
@@ -33,9 +38,37 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	srv := &http.Server{Addr: *addr, Handler: newHandler()}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(),
+		// Request bodies are small JSON documents (and additionally capped by
+		// maxRequestBody), so reads are quick; responses can take minutes when
+		// a full-size experiment runs.
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("olympian-serve listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(err)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Println("olympian-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
 	}
 }

@@ -121,7 +121,10 @@ type Scheduler struct {
 	switches      int
 }
 
-var _ executor.Hooks = (*Scheduler)(nil)
+var (
+	_ executor.Hooks        = (*Scheduler)(nil)
+	_ executor.JobCanceller = (*Scheduler)(nil)
+)
 
 // New returns a scheduler for dev. Profiles are attached per graph with
 // SetProfile; jobs whose graph has no profile fall back to nominal node
@@ -200,12 +203,17 @@ func (s *Scheduler) Deregister(p *sim.Proc, job *executor.Job) {
 
 // Yield implements executor.Hooks (Algorithm 2 line 12): gang threads of
 // non-holders suspend themselves here until their job regains the token.
+// Threads of an aborted job return immediately so the gang can unwind
+// without waiting for a grant that may never come.
 func (s *Scheduler) Yield(p *sim.Proc, job *executor.Job) {
 	js := s.state(job)
 	if js == nil {
 		return
 	}
 	for s.holder != js {
+		if job.Aborted() {
+			return
+		}
 		js.suspendedNow++
 		js.cond.Wait(p)
 		js.suspendedNow--
@@ -215,6 +223,19 @@ func (s *Scheduler) Yield(p *sim.Proc, job *executor.Job) {
 	if s.cfg.Mode == WallClock && s.holder == js && p.Now().Sub(s.intervalStart) >= s.cfg.Quantum {
 		s.rotate(js)
 	}
+}
+
+// Cancel implements executor.JobCanceller: when a job is aborted, its gang
+// threads may be parked on the job's condition variable waiting for the
+// token. Waking them lets each observe the abort in Yield and unwind, so
+// the job reaches Deregister — where the token, if held, is handed off —
+// instead of stranding the gang (and with it the token) forever.
+func (s *Scheduler) Cancel(p *sim.Proc, job *executor.Job) {
+	js := s.state(job)
+	if js == nil {
+		return
+	}
+	js.cond.Broadcast()
 }
 
 // NodeDone implements executor.Hooks (Algorithm 2 lines 14-18): accumulate

@@ -13,8 +13,10 @@
 package executor
 
 import (
+	"fmt"
 	"time"
 
+	"olympian/internal/faults"
 	"olympian/internal/gpu"
 	"olympian/internal/graph"
 	"olympian/internal/sim"
@@ -42,7 +44,16 @@ type Job struct {
 
 	wg       *sim.WaitGroup
 	inflight *sim.Semaphore
+
+	aborted bool
+	err     error
 }
+
+// Aborted reports whether the job was aborted before completing.
+func (j *Job) Aborted() bool { return j.aborted }
+
+// Err returns the failure that aborted the job, or nil on success.
+func (j *Job) Err() error { return j.err }
 
 // Hooks is the scheduler interface: the points at which Olympian (or any
 // other policy) intercepts the processing loop.
@@ -57,6 +68,16 @@ type Hooks interface {
 	// NodeDone is called after each node executes (lines 14-18): the point
 	// where GPU cost is accumulated and quantum expiry detected.
 	NodeDone(p *sim.Proc, job *Job, n *graph.Node)
+}
+
+// JobCanceller is an optional extension of Hooks: a scheduler that parks
+// gang threads (Olympian's Yield) must implement it so that an aborted
+// job's threads are woken and can unwind instead of waiting for a token
+// that may never come.
+type JobCanceller interface {
+	// Cancel is called once when job is aborted; implementations wake any
+	// of the job's parked threads.
+	Cancel(p *sim.Proc, job *Job)
 }
 
 // NopHooks is vanilla TF-Serving: no scheduling beyond the GPU driver's.
@@ -108,7 +129,17 @@ type Config struct {
 	// slice after the first — the expensive part of kernel-level
 	// preemption that Olympian's node-boundary switching avoids.
 	KernelSlicePenalty time.Duration
+	// Faults, when non-nil, injects job aborts at yield points; kernels
+	// failed by the same injector at the device are retried here.
+	Faults *faults.Injector
+	// KernelRetries caps resubmissions of a transiently failed kernel
+	// before the whole job is aborted. Zero means DefaultKernelRetries.
+	KernelRetries int
 }
+
+// DefaultKernelRetries is how often a transiently failed kernel is
+// relaunched before its job is given up on.
+const DefaultKernelRetries = 3
 
 // DefaultMaxInflight matches the small per-session kernel pipeline depth of
 // the TensorFlow runtime, which keeps switch-time overflow at the 2-3
@@ -126,8 +157,9 @@ type Engine struct {
 	hooks Hooks
 	pool  *ThreadPool
 
-	jobSeq int
-	taxOf  map[*graph.Graph]float64
+	jobSeq        int
+	taxOf         map[*graph.Graph]float64
+	kernelRetries int
 
 	// NodeObserver, if set, is called after every node execution with the
 	// node's wall time (including queueing) and its service time (the
@@ -147,6 +179,9 @@ func New(env *sim.Env, dev *gpu.Device, cfg Config, hooks Hooks) *Engine {
 	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.KernelRetries <= 0 {
+		cfg.KernelRetries = DefaultKernelRetries
 	}
 	return &Engine{
 		env:   env,
@@ -169,6 +204,26 @@ func (e *Engine) Pool() *ThreadPool { return e.pool }
 
 // Hooks returns the engine's scheduler hooks.
 func (e *Engine) Hooks() Hooks { return e.hooks }
+
+// KernelRetries returns how many transiently failed kernels were
+// relaunched so far.
+func (e *Engine) KernelRetries() int { return e.kernelRetries }
+
+// AbortJob marks job as failed with err and unwinds its gang: the
+// scheduler's Cancel hook (if implemented) wakes any parked threads, every
+// gang thread skips its remaining work at the next check point, and Run
+// deregisters the job through the normal path — so the scheduling token is
+// reclaimed and never stranded on an aborted holder.
+func (e *Engine) AbortJob(p *sim.Proc, job *Job, err error) {
+	if job.aborted {
+		return
+	}
+	job.aborted = true
+	job.err = err
+	if c, ok := e.hooks.(JobCanceller); ok {
+		c.Cancel(p, job)
+	}
+}
 
 // NewJob allocates a job for a client run of g.
 func (e *Engine) NewJob(client int, g *graph.Graph) *Job {
@@ -202,7 +257,16 @@ func (e *Engine) process(p *sim.Proc, job *Job, root *graph.Node) {
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
+		if !job.aborted && e.cfg.Faults.JobAborts() {
+			e.AbortJob(p, job, faults.ErrJobAborted)
+		}
+		if job.aborted {
+			return
+		}
 		e.hooks.Yield(p, job)
+		if job.aborted {
+			return
+		}
 		e.compute(p, job, n)
 		e.hooks.NodeDone(p, job, n)
 		for _, child := range n.Children {
@@ -238,16 +302,13 @@ func (e *Engine) compute(p *sim.Proc, job *Job, n *graph.Node) {
 		// gate: a thread that waited out other kernels here must not
 		// launch while its job is switched out.
 		e.hooks.Yield(p, job)
-		if e.cfg.KernelSliceDur > 0 && dur > e.cfg.KernelSliceDur {
+		switch {
+		case job.aborted:
+			// Woken by Cancel: skip the launch and let the gang unwind.
+		case e.cfg.KernelSliceDur > 0 && dur > e.cfg.KernelSliceDur:
 			e.computeSliced(p, job, n, dur)
-		} else {
-			done := e.dev.Submit(&gpu.Kernel{
-				Owner:     job.ID,
-				Stream:    job.Client,
-				Duration:  dur,
-				Occupancy: n.Occupancy,
-			})
-			done.Wait(p)
+		default:
+			e.submitKernel(p, job, n, dur)
 		}
 		job.inflight.Release()
 	} else {
@@ -255,6 +316,38 @@ func (e *Engine) compute(p *sim.Proc, job *Job, n *graph.Node) {
 	}
 	if e.NodeObserver != nil {
 		e.NodeObserver(job, n, p.Now().Sub(start), dur)
+	}
+}
+
+// submitKernel launches one kernel and waits for it, relaunching on
+// injected transient failures up to the configured retry cap. Exhausting
+// the cap aborts the whole job: the fault is no longer transient from the
+// middleware's point of view. It reports whether the kernel succeeded.
+func (e *Engine) submitKernel(p *sim.Proc, job *Job, n *graph.Node, dur time.Duration) bool {
+	for attempt := 0; ; attempt++ {
+		k := &gpu.Kernel{
+			Owner:     job.ID,
+			Stream:    job.Client,
+			Duration:  dur,
+			Occupancy: n.Occupancy,
+		}
+		e.dev.Submit(k)
+		k.Done.Wait(p)
+		if k.Err == nil {
+			return true
+		}
+		if attempt >= e.cfg.KernelRetries {
+			e.AbortJob(p, job, fmt.Errorf("executor: job %d node %d: %w (gave up after %d attempts)",
+				job.ID, n.ID, k.Err, attempt+1))
+			return false
+		}
+		e.kernelRetries++
+		// Re-yield before relaunching: the retry must not run while the
+		// job is switched out, and an abort may have landed meanwhile.
+		e.hooks.Yield(p, job)
+		if job.aborted {
+			return false
+		}
 	}
 }
 
@@ -274,16 +367,15 @@ func (e *Engine) computeSliced(p *sim.Proc, job *Job, n *graph.Node, dur time.Du
 		if !first {
 			// Sub-node preemption point, then pay the context restore.
 			e.hooks.Yield(p, job)
+			if job.aborted {
+				return
+			}
 			slice += e.cfg.KernelSlicePenalty
 		}
 		first = false
-		done := e.dev.Submit(&gpu.Kernel{
-			Owner:     job.ID,
-			Stream:    job.Client,
-			Duration:  slice,
-			Occupancy: n.Occupancy,
-		})
-		done.Wait(p)
+		if !e.submitKernel(p, job, n, slice) {
+			return
+		}
 	}
 }
 

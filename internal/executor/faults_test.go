@@ -1,0 +1,135 @@
+package executor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"olympian/internal/faults"
+	"olympian/internal/gpu"
+	"olympian/internal/graph"
+	"olympian/internal/sim"
+)
+
+// gpuChain builds a root CPU node followed by an async chain of n GPU
+// kernels.
+func gpuChain(t *testing.T, n int, d time.Duration) *graph.Graph {
+	t.Helper()
+	var head, tail *graph.Node
+	for i := 0; i < n; i++ {
+		node := &graph.Node{Op: "k", Device: graph.GPU, Duration: d, Occupancy: 1}
+		if head == nil {
+			head, tail = node, node
+		} else {
+			tail.Children = append(tail.Children, node)
+			tail = node
+		}
+	}
+	head.Async = true
+	root := &graph.Node{Op: "root", Device: graph.CPU, Duration: time.Microsecond, Children: []*graph.Node{head}}
+	g := &graph.Graph{Model: "chain", BatchSize: 1, Root: root}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestKernelRetryRecoversTransientFaults(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := gpu.New(env, testSpec)
+	inj := faults.New(9, faults.Plan{KernelFailRate: 0.1})
+	dev.InjectFaults(inj)
+	eng := New(env, dev, Config{Faults: inj}, nil)
+	g := gpuChain(t, 60, 100*time.Microsecond)
+	job := eng.NewJob(1, g)
+	env.Go("client", func(p *sim.Proc) { eng.Run(p, job) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if job.Err() != nil {
+		t.Fatalf("job failed despite retries: %v", job.Err())
+	}
+	if eng.KernelRetries() == 0 {
+		t.Fatal("no kernel retries recorded at a 10% fault rate over 60 kernels")
+	}
+	if inj.Counters().KernelFaults == 0 {
+		t.Fatal("injector recorded no kernel faults")
+	}
+}
+
+func TestPersistentKernelFaultAbortsJob(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := gpu.New(env, testSpec)
+	inj := faults.New(1, faults.Plan{KernelFailRate: 1})
+	dev.InjectFaults(inj)
+	eng := New(env, dev, Config{Faults: inj, KernelRetries: 2}, nil)
+	g := gpuChain(t, 5, 100*time.Microsecond)
+	job := eng.NewJob(1, g)
+	env.Go("client", func(p *sim.Proc) { eng.Run(p, job) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if !job.Aborted() {
+		t.Fatal("job not aborted despite a permanent kernel fault")
+	}
+	if !errors.Is(job.Err(), faults.ErrKernelFault) {
+		t.Fatalf("job err = %v, want wrapped ErrKernelFault", job.Err())
+	}
+	// 1 launch + 2 retries for the first kernel, then give up.
+	if eng.KernelRetries() != 2 {
+		t.Fatalf("kernel retries = %d, want 2", eng.KernelRetries())
+	}
+}
+
+func TestInjectedAbortStopsGang(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := gpu.New(env, testSpec)
+	inj := faults.New(2, faults.Plan{AbortRate: 0.05})
+	eng := New(env, dev, Config{Faults: inj}, nil)
+	g := gpuChain(t, 200, 50*time.Microsecond)
+	job := eng.NewJob(1, g)
+	var finished sim.Time
+	env.Go("client", func(p *sim.Proc) {
+		eng.Run(p, job)
+		finished = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if !job.Aborted() || !errors.Is(job.Err(), faults.ErrJobAborted) {
+		t.Fatalf("expected injected abort at 5%% over 200 yield points, got err=%v", job.Err())
+	}
+	// The gang unwound early: the aborted run must end well before the 10ms
+	// the full chain would take.
+	if finished >= sim.Time(10*time.Millisecond) {
+		t.Fatalf("aborted job ran to %v, want early unwind", finished)
+	}
+	if job.EndAt == 0 {
+		t.Fatal("Run never returned for the aborted job")
+	}
+}
+
+func TestAbortJobIsIdempotent(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := gpu.New(env, testSpec)
+	eng := New(env, dev, Config{}, nil)
+	g := gpuChain(t, 3, time.Millisecond)
+	job := eng.NewJob(1, g)
+	first := errors.New("first")
+	env.Go("client", func(p *sim.Proc) { eng.Run(p, job) })
+	env.Go("chaos", func(p *sim.Proc) {
+		p.Sleep(500 * time.Microsecond)
+		eng.AbortJob(p, job, first)
+		eng.AbortJob(p, job, errors.New("second"))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if job.Err() != first {
+		t.Fatalf("job err = %v, want the first abort reason", job.Err())
+	}
+}

@@ -340,3 +340,24 @@ func TestExtKernelSlicingCostsMore(t *testing.T) {
 			r.Metric("slicing_overhead"), r.Metric("olympian_overhead"))
 	}
 }
+
+func TestChaosHoldsUnderFaults(t *testing.T) {
+	r, err := Chaos(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric("deterministic") != 1 {
+		t.Fatal("same-seed chaos runs diverged")
+	}
+	if r.Metric("kernel_faults") == 0 || r.Metric("job_aborts") == 0 {
+		t.Fatalf("no faults injected: %v", r.Metrics)
+	}
+	// Recovery, not collapse: retries absorb the kernel faults and fair
+	// sharing keeps surviving clients' finish times bounded.
+	if spread := r.Metric("faulty_spread"); spread > 1.6 {
+		t.Fatalf("fairness collapsed under faults: spread %.3f", spread)
+	}
+	if frac := r.Metric("serving_completed_frac"); frac < 0.8 {
+		t.Fatalf("serving completed only %.0f%% of requests under bursts", frac*100)
+	}
+}

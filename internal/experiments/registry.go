@@ -39,6 +39,7 @@ func Registry() []Entry {
 		{"ext-dynamic", "Extension: Poisson arrivals", ExtDynamicArrivals},
 		{"ext-batching", "Extension: request batching front-end", ExtBatching},
 		{"ext-slicing", "Extension: kernel-slicing baseline", ExtKernelSlicing},
+		{"chaos", "Chaos: fairness and tails under injected faults", Chaos},
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"math"
 	"time"
 
+	"olympian/internal/faults"
 	"olympian/internal/sim"
 )
 
@@ -87,6 +88,10 @@ type Kernel struct {
 	Occupancy float64
 	// Done fires when the kernel completes.
 	Done *sim.Event
+	// Err is set before Done fires when the kernel failed transiently
+	// (injected device fault). The kernel still occupied the device for its
+	// full duration; the submitter decides whether to retry.
+	Err error
 
 	seq      uint64
 	queuedAt sim.Time
@@ -100,6 +105,9 @@ type Stats struct {
 	MemoryInUse int64
 	MemoryPeak  int64
 	ActiveNow   int
+	// KernelFaults counts kernels completed with an injected transient
+	// failure.
+	KernelFaults int
 }
 
 // stream is one submission queue.
@@ -136,6 +144,13 @@ type Device struct {
 	// barrierAt.
 	barrierDur time.Duration
 	barrierAt  sim.Time
+
+	// Fault injection: while stalled (driver wedge), admission is closed
+	// but resident kernels keep executing; completing kernels may be failed
+	// transiently by the injector.
+	inj        *faults.Injector
+	stallUntil sim.Time
+	stallArmed bool
 
 	memUsed int64
 	stats   Stats
@@ -186,9 +201,45 @@ func (d *Device) Submit(k *Kernel) *sim.Event {
 	if d.queued > d.stats.QueuePeak {
 		d.stats.QueuePeak = d.queued
 	}
+	d.armStall()
 	d.pump()
 	return k.Done
 }
+
+// InjectFaults attaches a fault injector: completing kernels may fail
+// transiently, and the driver may stall (admission closes while resident
+// kernels keep running). Call it once, before the run starts.
+func (d *Device) InjectFaults(in *faults.Injector) { d.inj = in }
+
+// armStall schedules the next injected driver stall, if the injector plans
+// stalls and none is pending. The stall chain is re-armed only while the
+// device has work, so an idle device's event queue still drains and the run
+// can end.
+func (d *Device) armStall() {
+	if d.inj == nil || d.stallArmed {
+		return
+	}
+	wait, dur, ok := d.inj.NextStall()
+	if !ok {
+		return
+	}
+	d.stallArmed = true
+	d.env.Schedule(wait, func() {
+		d.stallArmed = false
+		until := d.env.Now().Add(dur)
+		if until > d.stallUntil {
+			d.stallUntil = until
+		}
+		d.env.Schedule(dur, func() { d.pump() })
+		if d.queued > 0 || d.outstanding > 0 {
+			d.armStall()
+		}
+	})
+}
+
+// stalled reports whether an injected driver stall currently blocks
+// admission.
+func (d *Device) stalled() bool { return d.env.Now() < d.stallUntil }
 
 // drawWeight samples the stream's service weight.
 func (d *Device) drawWeight() float64 {
@@ -250,7 +301,7 @@ const maxBypassWait = 200 * time.Microsecond
 // around the oldest waiting kernel.
 func (d *Device) pump() {
 	const eps = 1e-9
-	if d.barrierClosed() {
+	if d.barrierClosed() || d.stalled() {
 		return
 	}
 	for {
@@ -349,6 +400,10 @@ func (d *Device) finish(k *Kernel) {
 	}
 	if d.outstanding == 0 && d.barrierDur > 0 && d.barrierAt == 0 {
 		d.armBarrier()
+	}
+	if d.inj.KernelFails() {
+		k.Err = faults.ErrKernelFault
+		d.stats.KernelFaults++
 	}
 	k.Done.Trigger()
 	d.pump()

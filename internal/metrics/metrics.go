@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -140,6 +141,63 @@ func FractionBelow(xs []float64, threshold float64) float64 {
 		}
 	}
 	return float64(n) / float64(len(xs))
+}
+
+// Degraded tallies a run's degraded-mode events: the faults injected into
+// it, the recovery work they forced, and the requests that were shed or
+// expired instead of served. A fault-free run reports the zero value.
+type Degraded struct {
+	// Injected faults (from the fault-injection plane).
+	KernelFaults int
+	DeviceStalls int
+	JobAborts    int
+	// Recovery actions.
+	KernelRetries int
+	BatchRetries  int
+	BatchFailures int
+	// SLO-aware shedding at the serving layer.
+	Drops          int // rejected at admission (bounded queue full)
+	Expired        int // dropped in queue past their deadline
+	DeadlineMisses int // served, but after their deadline
+}
+
+// Merge adds o's tallies into d.
+func (d *Degraded) Merge(o Degraded) {
+	d.KernelFaults += o.KernelFaults
+	d.DeviceStalls += o.DeviceStalls
+	d.JobAborts += o.JobAborts
+	d.KernelRetries += o.KernelRetries
+	d.BatchRetries += o.BatchRetries
+	d.BatchFailures += o.BatchFailures
+	d.Drops += o.Drops
+	d.Expired += o.Expired
+	d.DeadlineMisses += o.DeadlineMisses
+}
+
+// Any reports whether any degraded-mode event occurred.
+func (d Degraded) Any() bool { return d != Degraded{} }
+
+// String renders the non-zero tallies compactly.
+func (d Degraded) String() string {
+	if !d.Any() {
+		return "clean"
+	}
+	parts := make([]string, 0, 9)
+	add := func(name string, v int) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("kernelFaults", d.KernelFaults)
+	add("stalls", d.DeviceStalls)
+	add("aborts", d.JobAborts)
+	add("kernelRetries", d.KernelRetries)
+	add("batchRetries", d.BatchRetries)
+	add("batchFailures", d.BatchFailures)
+	add("drops", d.Drops)
+	add("expired", d.Expired)
+	add("deadlineMisses", d.DeadlineMisses)
+	return strings.Join(parts, " ")
 }
 
 // FinishRecord is one client's completion time.

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -165,5 +166,33 @@ func TestPropertySummaryBounds(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDegradedMergeAndString(t *testing.T) {
+	var d Degraded
+	if d.Any() {
+		t.Fatal("zero Degraded reports Any")
+	}
+	if d.String() != "clean" {
+		t.Fatalf("zero Degraded renders %q", d.String())
+	}
+	d.Merge(Degraded{KernelFaults: 2, Drops: 1})
+	d.Merge(Degraded{KernelFaults: 1, BatchRetries: 3, DeadlineMisses: 4})
+	want := Degraded{KernelFaults: 3, BatchRetries: 3, Drops: 1, DeadlineMisses: 4}
+	if d != want {
+		t.Fatalf("merged %+v, want %+v", d, want)
+	}
+	if !d.Any() {
+		t.Fatal("non-zero Degraded reports clean")
+	}
+	s := d.String()
+	for _, frag := range []string{"kernelFaults=3", "batchRetries=3", "drops=1", "deadlineMisses=4"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+	if strings.Contains(s, "stalls") {
+		t.Fatalf("String() = %q renders zero field", s)
 	}
 }

@@ -10,18 +10,30 @@
 package serving
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"olympian/internal/core"
 	"olympian/internal/executor"
+	"olympian/internal/faults"
 	"olympian/internal/gpu"
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
 	"olympian/internal/profiler"
 	"olympian/internal/sim"
+)
+
+// Failure-path sentinel errors, surfaced on Request.Err.
+var (
+	// ErrQueueFull marks a request shed at admission because the model's
+	// bounded queue was full.
+	ErrQueueFull = errors.New("serving: queue full")
+	// ErrExpired marks a request dropped in the batcher because its
+	// deadline passed before it was dispatched.
+	ErrExpired = errors.New("serving: deadline expired in queue")
 )
 
 // Request is one inference request for a single input.
@@ -32,15 +44,23 @@ type Request struct {
 	Model string
 	// ArriveAt is when the request entered the server.
 	ArriveAt sim.Time
+	// Deadline is the absolute completion deadline (0 = none).
+	Deadline sim.Time
 	// BatchedAt is when the batcher dispatched the request's batch.
 	BatchedAt sim.Time
-	// FinishAt is when the batch completed.
+	// FinishAt is when the request completed or failed.
 	FinishAt sim.Time
 	// BatchSize is the size of the batch the request rode in.
 	BatchSize int
+	// Err is non-nil if the request was shed, expired, or its batch
+	// failed permanently.
+	Err error
 
 	done *sim.Event
 }
+
+// Failed reports whether the request ended in an error.
+func (r *Request) Failed() bool { return r.Err != nil }
 
 // Latency returns the request's end-to-end response time.
 func (r *Request) Latency() time.Duration { return time.Duration(r.FinishAt - r.ArriveAt) }
@@ -67,17 +87,42 @@ type Config struct {
 	Seed int64
 	// Jitter is node-duration noise (default 0.03).
 	Jitter float64
+
+	// MaxQueue bounds each model's pending queue; requests arriving at a
+	// full queue are shed with ErrQueueFull (0 = unbounded).
+	MaxQueue int
+	// Deadline is the per-request SLO: requests still queued past it are
+	// dropped with ErrExpired, and late completions count as deadline
+	// misses (0 = no deadline).
+	Deadline time.Duration
+	// MaxRetries is how many times a failed batch is retried before its
+	// requests fail (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base backoff before a retry, doubled per
+	// attempt (default 500us).
+	RetryBackoff time.Duration
+	// RetryBudget caps total retries server-wide so a persistent fault
+	// cannot melt the server into retry work (default 64; negative
+	// disables the budget, i.e. zero retries).
+	RetryBudget int
+	// Faults, when set, injects deterministic failures into the device
+	// and executor.
+	Faults *faults.Injector
 }
 
 // Stats summarises a server's activity.
 type Stats struct {
 	Requests      int
 	Batches       int
+	Completed     int
+	Failed        int
 	MeanBatchSize float64
-	// Latency quantiles in seconds.
+	// Latency quantiles in seconds, over completed requests.
 	P50, P95, P99 float64
 	// Utilization of the device over the run.
 	Utilization float64
+	// Degraded tallies faults, retries, and shed load.
+	Degraded metrics.Degraded
 }
 
 // Server couples the batcher with an execution engine inside a simulation
@@ -97,6 +142,13 @@ type Server struct {
 	requests []*Request
 	batches  int
 	clients  int
+
+	retryLeft int
+	degraded  metrics.Degraded
+
+	// build constructs a model graph; overridable in tests to exercise
+	// the failed-batch path.
+	build func(modelName string, batch int) (*graph.Graph, error)
 }
 
 type graphKey struct {
@@ -121,15 +173,31 @@ func NewServer(env *sim.Env, cfg Config) *Server {
 	if cfg.Jitter == 0 {
 		cfg.Jitter = 0.03
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 500 * time.Microsecond
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 64
+	} else if cfg.RetryBudget < 0 {
+		cfg.RetryBudget = 0
+	}
 	dev := gpu.New(env, cfg.Spec)
+	dev.InjectFaults(cfg.Faults)
 	s := &Server{
-		env:      env,
-		dev:      dev,
-		cfg:      cfg,
-		queues:   make(map[string][]*Request),
-		flushers: make(map[string]*sim.Cond),
-		graphs:   make(map[graphKey]*graph.Graph),
-		profiles: make(map[graphKey]*profiler.Result),
+		env:       env,
+		dev:       dev,
+		cfg:       cfg,
+		queues:    make(map[string][]*Request),
+		flushers:  make(map[string]*sim.Cond),
+		graphs:    make(map[graphKey]*graph.Graph),
+		profiles:  make(map[graphKey]*profiler.Result),
+		retryLeft: cfg.RetryBudget,
+		build:     model.Build,
 	}
 	var hooks executor.Hooks = executor.NopHooks{}
 	if cfg.UseOlympian {
@@ -139,7 +207,7 @@ func NewServer(env *sim.Env, cfg Config) *Server {
 		})
 		hooks = s.sched
 	}
-	s.eng = executor.New(env, dev, executor.Config{Jitter: cfg.Jitter}, hooks)
+	s.eng = executor.New(env, dev, executor.Config{Jitter: cfg.Jitter, Faults: cfg.Faults}, hooks)
 	return s
 }
 
@@ -158,9 +226,19 @@ func (s *Server) Submit(p *sim.Proc, modelName string) (*Request, error) {
 		ArriveAt: p.Now(),
 		done:     s.env.NewEvent(),
 	}
+	if s.cfg.Deadline > 0 {
+		req.Deadline = req.ArriveAt.Add(s.cfg.Deadline)
+	}
 	s.requests = append(s.requests, req)
 	if _, ok := s.flushers[modelName]; !ok {
 		s.startBatcher(modelName)
+	}
+	if s.cfg.MaxQueue > 0 && len(s.queues[modelName]) >= s.cfg.MaxQueue {
+		// Bounded queue full: shed at admission rather than let the
+		// backlog blow every deadline downstream.
+		s.degraded.Drops++
+		s.fail(req, ErrQueueFull)
+		return req, nil
 	}
 	s.queues[modelName] = append(s.queues[modelName], req)
 	// Wake the batcher: it naps on an empty queue and flushes immediately
@@ -201,9 +279,37 @@ func (s *Server) startBatcher(modelName string) {
 	proc.SetDaemon(true)
 }
 
+// fail completes a request with an error at the current sim time.
+func (s *Server) fail(r *Request, err error) {
+	r.Err = err
+	r.FinishAt = s.env.Now()
+	r.done.Trigger()
+}
+
+// dropExpired removes requests whose deadline already passed from a
+// model's queue, failing each with ErrExpired.
+func (s *Server) dropExpired(modelName string) {
+	now := s.env.Now()
+	q := s.queues[modelName]
+	kept := q[:0]
+	for _, r := range q {
+		if r.Deadline > 0 && now > r.Deadline {
+			s.degraded.Expired++
+			s.fail(r, ErrExpired)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.queues[modelName] = kept
+}
+
 // flush dispatches the queued requests of a model as one batch job.
 func (s *Server) flush(modelName string) {
+	s.dropExpired(modelName)
 	batch := s.queues[modelName]
+	if len(batch) == 0 {
+		return
+	}
 	if len(batch) > s.cfg.MaxBatch {
 		batch = batch[:s.cfg.MaxBatch]
 	}
@@ -211,9 +317,14 @@ func (s *Server) flush(modelName string) {
 	size := len(batch)
 	g, err := s.graphFor(modelName, size)
 	if err != nil {
-		// Unknown models are rejected at Submit; a failure here is a
-		// programming error in the zoo. Fail the batch visibly.
-		panic(fmt.Sprintf("serving: build %s/%d: %v", modelName, size, err))
+		// Unknown models are rejected at Submit, but the zoo can still
+		// fail to build a given batch size. Fail the affected requests
+		// instead of taking the whole server down.
+		s.degraded.BatchFailures++
+		for _, r := range batch {
+			s.fail(r, fmt.Errorf("serving: build %s/%d: %w", modelName, size, err))
+		}
+		return
 	}
 	now := s.env.Now()
 	for _, r := range batch {
@@ -224,13 +335,40 @@ func (s *Server) flush(modelName string) {
 	s.clients++
 	clientID := s.clients
 	s.env.Go(fmt.Sprintf("batch-%s-%d", modelName, s.batches), func(p *sim.Proc) {
+		s.runBatch(p, clientID, g, batch)
+	})
+}
+
+// runBatch executes one batch job, retrying failed attempts with
+// exponential backoff while the server-wide retry budget lasts.
+func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Request) {
+	var jobErr error
+	for attempt := 0; ; attempt++ {
 		job := s.eng.NewJob(clientID, g)
 		s.eng.Run(p, job)
-		for _, r := range batch {
-			r.FinishAt = p.Now()
-			r.done.Trigger()
+		jobErr = job.Err()
+		if jobErr == nil {
+			break
 		}
-	})
+		if attempt >= s.cfg.MaxRetries || s.retryLeft <= 0 {
+			s.degraded.BatchFailures++
+			for _, r := range batch {
+				s.fail(r, fmt.Errorf("serving: batch failed after %d attempts: %w", attempt+1, jobErr))
+			}
+			return
+		}
+		s.retryLeft--
+		s.degraded.BatchRetries++
+		p.Sleep(s.cfg.RetryBackoff << attempt)
+	}
+	now := p.Now()
+	for _, r := range batch {
+		r.FinishAt = now
+		if r.Deadline > 0 && now > r.Deadline {
+			s.degraded.DeadlineMisses++
+		}
+		r.done.Trigger()
+	}
 }
 
 // graphFor caches graphs (and Olympian profiles) per (model, batch size).
@@ -239,7 +377,7 @@ func (s *Server) graphFor(modelName string, batch int) (*graph.Graph, error) {
 	if g, ok := s.graphs[key]; ok {
 		return g, nil
 	}
-	g, err := model.Build(modelName, batch)
+	g, err := s.build(modelName, batch)
 	if err != nil {
 		return nil, err
 	}
@@ -265,9 +403,14 @@ func (s *Server) Stats() Stats {
 	var lats []float64
 	var sizes int
 	for _, r := range s.requests {
+		if r.Failed() {
+			st.Failed++
+			continue
+		}
 		if r.FinishAt == 0 {
 			continue
 		}
+		st.Completed++
 		lats = append(lats, r.Latency().Seconds())
 		sizes += r.BatchSize
 	}
@@ -282,6 +425,14 @@ func (s *Server) Stats() Stats {
 	}
 	if now := s.env.Now(); now > 0 {
 		st.Utilization = s.dev.TotalBusy().Seconds() / now.Seconds()
+	}
+	st.Degraded = s.degraded
+	st.Degraded.KernelRetries = s.eng.KernelRetries()
+	if s.cfg.Faults != nil {
+		c := s.cfg.Faults.Counters()
+		st.Degraded.KernelFaults = c.KernelFaults
+		st.Degraded.DeviceStalls = c.DeviceStalls
+		st.Degraded.JobAborts = c.JobAborts
 	}
 	return st
 }

@@ -12,6 +12,7 @@ import (
 
 	"olympian/internal/core"
 	"olympian/internal/executor"
+	"olympian/internal/faults"
 	"olympian/internal/gpu"
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
@@ -117,7 +118,15 @@ type Config struct {
 	// MaxVirtual aborts the run if virtual time exceeds this (a progress
 	// guard for deadlock-prone configurations). Zero disables.
 	MaxVirtual time.Duration
+	// Faults, when non-nil and enabled, injects deterministic failures
+	// (seeded by Seed) into the device and executor; clients retry failed
+	// batches up to MaxBatchRetries times.
+	Faults *faults.Plan
 }
+
+// MaxBatchRetries bounds how often a closed-loop client re-submits a
+// failed batch before giving up on it.
+const MaxBatchRetries = 3
 
 // DefaultQuantum is used when a run does not choose Q via profiling.
 const DefaultQuantum = 1200 * time.Microsecond
@@ -148,6 +157,8 @@ type Result struct {
 	FailedClients []int
 	// Quantum echoes the Q used by the scheduler (zero for vanilla).
 	Quantum time.Duration
+	// Degraded tallies injected faults and the recovery work they forced.
+	Degraded metrics.Degraded
 }
 
 // Run executes the workload and returns its measurements.
@@ -179,6 +190,12 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 	env := sim.NewEnv(cfg.Seed)
 	dev := gpu.New(env, cfg.Spec)
 
+	var inj *faults.Injector
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj = faults.New(cfg.Seed, *cfg.Faults)
+		dev.InjectFaults(inj)
+	}
+
 	var sched *core.Scheduler
 	var hooks executor.Hooks
 	switch cfg.Kind {
@@ -208,6 +225,7 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 	engCfg := executor.Config{
 		ThreadPoolSize: cfg.ThreadPoolSize,
 		Jitter:         cfg.Jitter,
+		Faults:         inj,
 	}
 	if cfg.Kind == KernelSlicing {
 		// Related-work parameters: slices near the quantum scale, with the
@@ -254,15 +272,25 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 				batches = 1
 			}
 			for b := 0; b < batches; b++ {
-				job := eng.NewJob(i, g)
-				if spec.Weight > 0 {
-					job.Weight = spec.Weight
+				for attempt := 0; ; attempt++ {
+					job := eng.NewJob(i, g)
+					if spec.Weight > 0 {
+						job.Weight = spec.Weight
+					}
+					job.Priority = spec.Priority
+					if spec.Deadline > 0 {
+						job.Deadline = p.Now().Add(spec.Deadline)
+					}
+					eng.Run(p, job)
+					if job.Err() == nil {
+						break
+					}
+					if attempt >= MaxBatchRetries {
+						res.Degraded.BatchFailures++
+						break
+					}
+					res.Degraded.BatchRetries++
 				}
-				job.Priority = spec.Priority
-				if spec.Deadline > 0 {
-					job.Deadline = p.Now().Add(spec.Deadline)
-				}
-				eng.Run(p, job)
 			}
 			finish := time.Duration(p.Now())
 			res.Finishes.Add(i, spec.Model, finish)
@@ -286,6 +314,13 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 	res.Elapsed = time.Duration(lastFinish)
 	res.Device = dev.Stats()
 	res.Pool = eng.Pool().Stats()
+	res.Degraded.KernelRetries = eng.KernelRetries()
+	if inj != nil {
+		c := inj.Counters()
+		res.Degraded.KernelFaults = c.KernelFaults
+		res.Degraded.DeviceStalls = c.DeviceStalls
+		res.Degraded.JobAborts = c.JobAborts
+	}
 	if sched != nil {
 		res.Quanta = sched.Records()
 		res.Switches = sched.Switches()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"olympian/internal/core"
+	"olympian/internal/faults"
 	"olympian/internal/gpu"
 	"olympian/internal/model"
 	"olympian/internal/profiler"
@@ -198,5 +199,40 @@ func TestQueueOnMemoryAdmitsEventually(t *testing.T) {
 	}
 	if len(res.Finishes.Records) != 60 {
 		t.Fatalf("%d clients finished, want 60", len(res.Finishes.Records))
+	}
+}
+
+func TestRunWithFaultsIsDeterministic(t *testing.T) {
+	plan := &faults.Plan{KernelFailRate: 0.05, AbortRate: 0.0005}
+	run := func() *Result {
+		res, err := Run(Config{Seed: 11, Kind: Olympian, Faults: plan}, smallClients(3, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if a.Degraded.KernelFaults == 0 {
+		t.Fatal("no kernel faults injected at a 5% rate")
+	}
+	if a.Degraded.KernelRetries == 0 {
+		t.Fatal("no kernel retries despite injected faults")
+	}
+	if len(a.Finishes.Records) != 3 {
+		t.Fatalf("%d finishes, want all clients to complete", len(a.Finishes.Records))
+	}
+	b := run()
+	if a.Degraded != b.Degraded || a.Elapsed != b.Elapsed {
+		t.Fatalf("same seed, different outcomes:\n%+v %v\n%+v %v", a.Degraded, a.Elapsed, b.Degraded, b.Elapsed)
+	}
+}
+
+func TestRunCleanHasNoDegradedEvents(t *testing.T) {
+	res, err := Run(Config{Seed: 2, Kind: Vanilla}, smallClients(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded.Any() {
+		t.Fatalf("fault-free run reports degraded events: %v", res.Degraded)
 	}
 }
