@@ -159,3 +159,18 @@ func TestChaosExperimentEndpoint(t *testing.T) {
 		t.Fatalf("chaos run not deterministic: %v", metrics)
 	}
 }
+
+func TestClusterExperimentEndpoint(t *testing.T) {
+	h := newHandler()
+	rec, obj := do(t, h, "POST", "/experiments/cluster?quick=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run status %d: %v", rec.Code, obj)
+	}
+	metrics := obj["metrics"].(map[string]any)
+	if metrics["deterministic"].(float64) != 1 {
+		t.Fatalf("cluster run not deterministic: %v", metrics)
+	}
+	if metrics["failover_failed"].(float64) != 0 {
+		t.Fatalf("cluster failover left failures: %v", metrics)
+	}
+}

@@ -1,0 +1,347 @@
+// Package cluster is the multi-device layer of the reproduction: a fleet of
+// simulated GPUs inside one environment, each fronted by its own Olympian
+// scheduler and serving front-end, with the two decision layers a
+// single-device stack never needs — placement (which device hosts which
+// model replica, planned by internal/planner) and routing (which replica
+// serves each request, chosen by a pluggable Router policy).
+//
+// Failover follows the fault plane: when internal/faults stalls a device's
+// driver, the device reports the stall to the cluster, which takes the
+// device out of rotation, drains its queued (not yet dispatched) requests
+// with serving.ErrDrained, and lets each drained request re-dispatch to a
+// surviving replica from its waiter's own process context. Kernels already
+// resident on the stalled device keep executing, matching the gpu model.
+// Because every step — stall schedule, drain order, re-dispatch order,
+// routing scores — is driven by the deterministic simulation kernel, two
+// same-seed runs produce byte-identical stats and routing decision logs.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"olympian/internal/core"
+	"olympian/internal/faults"
+	"olympian/internal/gpu"
+	"olympian/internal/metrics"
+	"olympian/internal/model"
+	"olympian/internal/planner"
+	"olympian/internal/profiler"
+	"olympian/internal/serving"
+	"olympian/internal/sim"
+)
+
+// Config parameterises a cluster.
+type Config struct {
+	// Seed drives all randomness; per-device seeds are derived from it.
+	Seed int64
+	// Devices lists the fleet's GPU specs (heterogeneous allowed).
+	// Empty means one GTX1080Ti.
+	Devices []gpu.Spec
+	// Faults optionally injects per-device fault plans; index i applies to
+	// device i (nil entries and a short slice leave devices fault-free).
+	Faults []*faults.Plan
+	// Placement restricts models to planned replicas; nil lets every
+	// device serve every model.
+	Placement *planner.Placement
+	// Route selects the routing policy (default LeastOutstanding).
+	Route RoutePolicy
+	// Policy builds each device's scheduler policy; per-device instances
+	// are required because policies are stateful (default core.NewFair).
+	Policy func() core.Policy
+	// Quantum, MaxBatch, BatchTimeout, MaxQueue, Deadline mirror
+	// serving.Config and apply to every device's front-end.
+	Quantum      time.Duration
+	MaxBatch     int
+	BatchTimeout time.Duration
+	MaxQueue     int
+	Deadline     time.Duration
+	// MaxFailovers caps how often one request is re-dispatched after
+	// drains before it fails with the drain error (default 3).
+	MaxFailovers int
+	// Profiles caches the offline profiles the cost-weighted router and
+	// the placement planner read; a private store is used when nil.
+	Profiles *profiler.Store
+}
+
+// Cluster is a fleet of devices behind one router.
+type Cluster struct {
+	env     *sim.Env
+	cfg     Config
+	servers []*serving.Server
+	router  *Router
+
+	requests  []*Request
+	failovers int
+}
+
+// Request is one cluster-level inference request. It wraps the current
+// device-level serving.Request and survives failover: when the device
+// drains, Wait re-dispatches to a surviving replica transparently.
+type Request struct {
+	// Model is the target model name.
+	Model string
+	// Device is the replica currently (or finally) serving the request.
+	Device int
+	// Hops counts failover re-dispatches.
+	Hops int
+	// ArriveAt is when the request first entered the cluster.
+	ArriveAt sim.Time
+
+	c     *Cluster
+	inner *serving.Request
+}
+
+// New builds a cluster inside env. Every device gets its own gpu.Device,
+// Olympian scheduler, serving front-end, and (optionally) fault injector,
+// all seeded deterministically from cfg.Seed and the device index.
+func New(env *sim.Env, cfg Config) (*Cluster, error) {
+	if len(cfg.Devices) == 0 {
+		cfg.Devices = []gpu.Spec{gpu.GTX1080Ti}
+	}
+	if cfg.Route == 0 {
+		cfg.Route = LeastOutstanding
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = func() core.Policy { return core.NewFair() }
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = workloadDefaultQuantum
+	}
+	if cfg.MaxFailovers == 0 {
+		cfg.MaxFailovers = 3
+	} else if cfg.MaxFailovers < 0 {
+		cfg.MaxFailovers = 0
+	}
+	if cfg.Profiles == nil {
+		cfg.Profiles = profiler.NewStore()
+	}
+
+	c := &Cluster{env: env, cfg: cfg}
+	c.router = newRouter(env, len(cfg.Devices), cfg.Route, c.requestCost)
+	if cfg.Placement != nil {
+		byRef := make(map[string][]int)
+		for _, r := range cfg.Placement.Replicas {
+			byRef[r.Model] = append(byRef[r.Model], r.Device)
+		}
+		for name, devs := range byRef {
+			for _, d := range devs {
+				if d < 0 || d >= len(cfg.Devices) {
+					return nil, fmt.Errorf("cluster: placement puts %s on device %d of %d", name, d, len(cfg.Devices))
+				}
+			}
+			c.router.setReplicas(name, devs)
+		}
+	}
+
+	for i, spec := range cfg.Devices {
+		var inj *faults.Injector
+		if i < len(cfg.Faults) && cfg.Faults[i] != nil && cfg.Faults[i].Enabled() {
+			inj = faults.New(cfg.Seed+int64(i)*1031, *cfg.Faults[i])
+		}
+		srv := serving.NewServer(env, serving.Config{
+			Spec:         spec,
+			UseOlympian:  true,
+			Policy:       cfg.Policy(),
+			Quantum:      cfg.Quantum,
+			MaxBatch:     cfg.MaxBatch,
+			BatchTimeout: cfg.BatchTimeout,
+			MaxQueue:     cfg.MaxQueue,
+			Deadline:     cfg.Deadline,
+			Seed:         cfg.Seed + int64(i)*101,
+			Faults:       inj,
+		})
+		c.servers = append(c.servers, srv)
+		dev := srv.Device()
+		i := i
+		dev.SetStallObserver(func(until sim.Time) {
+			c.failover(i, until)
+		})
+	}
+	return c, nil
+}
+
+// workloadDefaultQuantum mirrors workload.DefaultQuantum without importing
+// the workload package (which would cycle through experiments).
+const workloadDefaultQuantum = 1200 * time.Microsecond
+
+// requestCost returns the router's per-request debt unit for a model:
+// T_j = Q·C_j/D_j from an offline batch-1 profile, computed once per model
+// through the shared store.
+func (c *Cluster) requestCost(modelName string) (time.Duration, error) {
+	key := profiler.Key{Model: modelName, Batch: 1}
+	prof, err := c.cfg.Profiles.GetOrCompute(key, func() (*profiler.Result, error) {
+		g, err := model.Build(modelName, 1)
+		if err != nil {
+			return nil, err
+		}
+		return profiler.ProfileSolo(g, profiler.Options{Spec: c.cfg.Devices[0], Seed: c.cfg.Seed + 7})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return prof.Threshold(c.cfg.Quantum), nil
+}
+
+// failover reacts to a device stall: the device leaves rotation until the
+// stall clears, and its queued requests are drained so their waiters
+// re-dispatch to surviving replicas.
+func (c *Cluster) failover(device int, until sim.Time) {
+	c.router.MarkDown(device, until)
+	c.servers[device].DrainQueued()
+	c.env.Schedule(until.Sub(c.env.Now()), func() {
+		if !c.router.Down(device) {
+			c.router.MarkUp(device)
+		}
+	})
+}
+
+// Router exposes the routing layer (decision log, health controls).
+func (c *Cluster) Router() *Router { return c.router }
+
+// Server returns device i's serving front-end.
+func (c *Cluster) Server(i int) *serving.Server { return c.servers[i] }
+
+// Devices returns the fleet size.
+func (c *Cluster) Devices() int { return len(c.servers) }
+
+// Submit routes one request to a replica and enqueues it there. It must be
+// called from process context, and every submitted request must eventually
+// be Waited on — Wait is where failover re-dispatch and the router's
+// outstanding accounting happen.
+func (c *Cluster) Submit(p *sim.Proc, modelName string) (*Request, error) {
+	dev, err := c.router.Route(modelName, false)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := c.servers[dev].Submit(p, modelName)
+	if err != nil {
+		c.router.release(dev)
+		return nil, err
+	}
+	req := &Request{
+		Model: modelName, Device: dev, ArriveAt: inner.ArriveAt,
+		c: c, inner: inner,
+	}
+	c.requests = append(c.requests, req)
+	return req, nil
+}
+
+// Wait blocks p until the request completes, re-dispatching it to a
+// surviving replica each time a drained device hands it back (up to the
+// configured failover cap).
+func (r *Request) Wait(p *sim.Proc) {
+	for {
+		r.inner.Wait(p)
+		r.c.router.release(r.Device)
+		if !errors.Is(r.inner.Err, serving.ErrDrained) || r.Hops >= r.c.cfg.MaxFailovers {
+			return
+		}
+		dev, err := r.c.router.Route(r.Model, true)
+		if err != nil {
+			return
+		}
+		inner, err := r.c.servers[dev].Submit(p, r.Model)
+		if err != nil {
+			r.c.router.release(dev)
+			return
+		}
+		r.Hops++
+		r.c.failovers++
+		r.Device = dev
+		r.inner = inner
+	}
+}
+
+// Err returns the request's final error (nil on success).
+func (r *Request) Err() error { return r.inner.Err }
+
+// Failed reports whether the request ended in an error.
+func (r *Request) Failed() bool { return r.inner.Err != nil }
+
+// Finished reports whether the request has completed or failed.
+func (r *Request) Finished() bool { return r.inner.FinishAt != 0 || r.inner.Err != nil }
+
+// Latency returns the end-to-end response time from first arrival at the
+// cluster to final completion, spanning any failover hops; 0 while the
+// request is still in flight.
+func (r *Request) Latency() time.Duration {
+	if r.inner.FinishAt == 0 || r.inner.FinishAt < r.ArriveAt {
+		return 0
+	}
+	return time.Duration(r.inner.FinishAt - r.ArriveAt)
+}
+
+// Stats aggregates the fleet's activity.
+type Stats struct {
+	// Devices is the fleet size.
+	Devices int
+	// Requests, Completed, Failed count cluster-level requests; a request
+	// that failed over and then completed counts as completed (the
+	// device-level failure is visible in PerDevice).
+	Requests  int
+	Completed int
+	Failed    int
+	// Failovers counts re-dispatches after drains.
+	Failovers int
+	// Goodput is completed cluster requests per second of virtual time.
+	Goodput float64
+	// PerDevice holds each device's serving stats.
+	PerDevice []serving.Stats
+	// Utilization is each device's busy fraction over the run.
+	Utilization []float64
+	// PerModel holds cluster-level end-to-end latency percentiles, sorted
+	// by model name.
+	PerModel []serving.ModelLatency
+	// Degraded merges every device's degraded-mode tallies.
+	Degraded metrics.Degraded
+	// Decisions counts routing decisions; DecisionHash fingerprints their
+	// exact sequence for determinism checks.
+	Decisions    int
+	DecisionHash uint64
+}
+
+// Stats summarises the cluster's activity so far.
+func (c *Cluster) Stats() Stats {
+	st := Stats{Devices: len(c.servers), Failovers: c.failovers}
+	now := c.env.Now()
+	for _, srv := range c.servers {
+		ds := srv.Stats()
+		st.PerDevice = append(st.PerDevice, ds)
+		st.Degraded.Merge(ds.Degraded)
+		util := 0.0
+		if now > 0 {
+			util = srv.Device().TotalBusy().Seconds() / now.Seconds()
+		}
+		st.Utilization = append(st.Utilization, util)
+	}
+	byModel := make(map[string][]float64)
+	for _, r := range c.requests {
+		st.Requests++
+		switch {
+		case r.Failed():
+			st.Failed++
+		case r.Finished():
+			st.Completed++
+			byModel[r.Model] = append(byModel[r.Model], r.Latency().Seconds())
+		}
+	}
+	names := make([]string, 0, len(byModel))
+	for name := range byModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.PerModel = append(st.PerModel, serving.ModelLatency{
+			Model: name, Latency: metrics.PercentilesOf(byModel[name]),
+		})
+	}
+	if now > 0 {
+		st.Goodput = float64(st.Completed) / now.Seconds()
+	}
+	st.Decisions = len(c.router.decisions)
+	st.DecisionHash = c.router.DecisionHash()
+	return st
+}

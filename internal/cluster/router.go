@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"olympian/internal/sim"
+)
+
+// RoutePolicy selects how the router picks a replica for each request.
+type RoutePolicy int
+
+// Routing policies.
+const (
+	// RoundRobin cycles through a model's replicas in device order.
+	RoundRobin RoutePolicy = iota + 1
+	// LeastOutstanding picks the replica with the fewest requests routed
+	// to it and not yet completed.
+	LeastOutstanding
+	// CostWeighted picks the replica with the least accumulated profiled
+	// debt: each dispatch charges the device T_j = Q·C_j/D_j, so devices
+	// serving expensive models receive proportionally fewer requests.
+	CostWeighted
+)
+
+// String names the routing policy.
+func (p RoutePolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastOutstanding:
+		return "least-outstanding"
+	case CostWeighted:
+		return "cost-weighted"
+	default:
+		return fmt.Sprintf("RoutePolicy(%d)", int(p))
+	}
+}
+
+// Decision is one routing choice, recorded in dispatch order. The sequence
+// is part of a run's deterministic output: two same-seed runs must produce
+// byte-identical decision logs.
+type Decision struct {
+	// Seq is the dispatch index.
+	Seq int
+	// Model is the requested model.
+	Model string
+	// Device is the chosen replica's device index.
+	Device int
+	// Failover marks a re-dispatch after the original device was drained.
+	Failover bool
+}
+
+// Router dispatches requests to model replicas. It is single-environment
+// state (like everything inside a simulation) and must only be used from
+// process or event context.
+type Router struct {
+	env    *sim.Env
+	policy RoutePolicy
+
+	// replicas maps model -> device indices hosting it (ascending). Models
+	// without an entry may run anywhere (all = every device index).
+	replicas map[string][]int
+	all      []int
+
+	rrNext      map[string]int
+	outstanding []int
+	debt        []float64 // accumulated T_j, in seconds, per device
+	debtUnit    func(modelName string) (time.Duration, error)
+	downUntil   []sim.Time
+
+	decisions []Decision
+}
+
+// newRouter wires a router over n devices.
+func newRouter(env *sim.Env, n int, policy RoutePolicy, debtUnit func(string) (time.Duration, error)) *Router {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return &Router{
+		env:         env,
+		policy:      policy,
+		replicas:    make(map[string][]int),
+		all:         all,
+		rrNext:      make(map[string]int),
+		outstanding: make([]int, n),
+		debt:        make([]float64, n),
+		debtUnit:    debtUnit,
+		downUntil:   make([]sim.Time, n),
+	}
+}
+
+// setReplicas restricts a model to the given device indices.
+func (rt *Router) setReplicas(modelName string, devices []int) {
+	sorted := append([]int(nil), devices...)
+	sort.Ints(sorted)
+	rt.replicas[modelName] = sorted
+}
+
+// Replicas returns the device indices eligible to serve a model.
+func (rt *Router) Replicas(modelName string) []int {
+	if devs, ok := rt.replicas[modelName]; ok {
+		return devs
+	}
+	return rt.all
+}
+
+// MarkDown takes a device out of rotation until the given time: new
+// requests are routed around it while at least one replica stays healthy.
+func (rt *Router) MarkDown(device int, until sim.Time) {
+	if until > rt.downUntil[device] {
+		rt.downUntil[device] = until
+	}
+}
+
+// MarkUp returns a device to rotation immediately.
+func (rt *Router) MarkUp(device int) { rt.downUntil[device] = 0 }
+
+// Down reports whether a device is currently out of rotation.
+func (rt *Router) Down(device int) bool { return rt.env.Now() < rt.downUntil[device] }
+
+// Route picks a replica for one request of the model and records the
+// decision. Down devices are skipped while any healthy replica remains;
+// with every replica down the router degrades to routing among them anyway
+// (queueing at a wedged device beats failing the request outright —
+// resident kernels keep executing through a stall).
+func (rt *Router) Route(modelName string, failover bool) (int, error) {
+	cands := rt.Replicas(modelName)
+	healthy := make([]int, 0, len(cands))
+	for _, d := range cands {
+		if !rt.Down(d) {
+			healthy = append(healthy, d)
+		}
+	}
+	if len(healthy) > 0 {
+		cands = healthy
+	}
+	if len(cands) == 0 {
+		return -1, fmt.Errorf("cluster: no replicas for model %q", modelName)
+	}
+
+	var pick int
+	switch rt.policy {
+	case RoundRobin:
+		pick = cands[rt.rrNext[modelName]%len(cands)]
+		rt.rrNext[modelName]++
+	case CostWeighted:
+		unit, err := rt.debtUnit(modelName)
+		if err != nil {
+			return -1, err
+		}
+		pick = cands[0]
+		for _, d := range cands[1:] {
+			if rt.debt[d] < rt.debt[pick] {
+				pick = d
+			}
+		}
+		rt.debt[pick] += unit.Seconds()
+	default: // LeastOutstanding
+		pick = cands[0]
+		for _, d := range cands[1:] {
+			if rt.outstanding[d] < rt.outstanding[pick] {
+				pick = d
+			}
+		}
+	}
+	rt.outstanding[pick]++
+	rt.decisions = append(rt.decisions, Decision{
+		Seq: len(rt.decisions), Model: modelName, Device: pick, Failover: failover,
+	})
+	return pick, nil
+}
+
+// release retires one outstanding request from a device.
+func (rt *Router) release(device int) {
+	if rt.outstanding[device] > 0 {
+		rt.outstanding[device]--
+	}
+}
+
+// Outstanding returns the requests currently routed to a device and not yet
+// completed.
+func (rt *Router) Outstanding(device int) int { return rt.outstanding[device] }
+
+// Decisions returns the routing log in dispatch order.
+func (rt *Router) Decisions() []Decision { return rt.decisions }
+
+// DecisionHash folds the routing log into one FNV-1a hash — a compact
+// fingerprint two same-seed runs can compare for byte-identical routing.
+func (rt *Router) DecisionHash() uint64 {
+	h := fnv.New64a()
+	for _, d := range rt.decisions {
+		fmt.Fprintf(h, "%d:%s:%d:%t;", d.Seq, d.Model, d.Device, d.Failover)
+	}
+	return h.Sum64()
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"time"
 
 	"olympian/internal/faults"
@@ -124,13 +125,16 @@ func Chaos(o Options) (*Report, error) {
 	if st.Requests == 0 {
 		return nil, fmt.Errorf("chaos: serving run produced no requests")
 	}
-	if st2, drained2, _ := serve(); st != st2 || drained != drained2 {
+	if st2, drained2, _ := serve(); !reflect.DeepEqual(st, st2) || drained != drained2 {
 		deterministic = false
 	}
 	r.AddRow("serving+bursts",
 		fmt.Sprintf("p99/p50 %.2f", st.P99/st.P50),
 		metrics.FormatSeconds(drained), st.Degraded.String())
 
+	for _, ml := range st.PerModel {
+		r.AddNote("serving latency %s: %s", ml.Model, ml.Latency)
+	}
 	r.AddNote("faults injected: %s", chaotic.Degraded.String())
 	r.AddNote("serving absorbed %d bursts: %d/%d completed, degraded: %s",
 		bursts, st.Completed, st.Requests, st.Degraded.String())

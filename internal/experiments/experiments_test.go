@@ -361,3 +361,29 @@ func TestChaosHoldsUnderFaults(t *testing.T) {
 		t.Fatalf("serving completed only %.0f%% of requests under bursts", frac*100)
 	}
 }
+
+func TestClusterScalesAndFailsOver(t *testing.T) {
+	r, err := Cluster(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric("deterministic") != 1 {
+		t.Fatal("same-seed cluster runs diverged")
+	}
+	// Near-linear goodput scaling: the fleet must deliver most of the
+	// per-device goodput times the device count.
+	if eff := r.Metric("scaling_efficiency"); eff < 0.8 {
+		t.Fatalf("goodput scaling efficiency %.2f, want >= 0.8", eff)
+	}
+	// The stall plan must engage and failover must save every drained
+	// request — no cluster-level failures.
+	if r.Metric("failover_stalls") == 0 {
+		t.Fatalf("no stalls injected: %v", r.Metrics)
+	}
+	if r.Metric("failovers") == 0 {
+		t.Fatalf("no requests failed over: %v", r.Metrics)
+	}
+	if r.Metric("failover_failed") != 0 {
+		t.Fatalf("%v requests failed despite failover", r.Metric("failover_failed"))
+	}
+}

@@ -40,6 +40,7 @@ func Registry() []Entry {
 		{"ext-batching", "Extension: request batching front-end", ExtBatching},
 		{"ext-slicing", "Extension: kernel-slicing baseline", ExtKernelSlicing},
 		{"chaos", "Chaos: fairness and tails under injected faults", Chaos},
+		{"cluster", "Extension: multi-GPU cluster serving", Cluster},
 	}
 }
 

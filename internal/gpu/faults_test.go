@@ -86,3 +86,42 @@ func TestStallDelaysAdmissionNotResidents(t *testing.T) {
 		t.Fatalf("stalled run not deterministic: %v vs %v", again, stalled)
 	}
 }
+
+func TestStallObserverFiresAtStallOnset(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := New(env, noLaunch)
+	in := faults.New(1, faults.Plan{StallEvery: 300 * time.Microsecond, StallDur: time.Millisecond})
+	dev.InjectFaults(in)
+	type stall struct {
+		at, until sim.Time
+	}
+	var seen []stall
+	dev.SetStallObserver(func(until sim.Time) {
+		seen = append(seen, stall{at: env.Now(), until: until})
+		if !dev.Stalled() {
+			t.Error("observer fired while device not stalled")
+		}
+	})
+	env.Go("client", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			k := &Kernel{Owner: 1, Stream: 1, Duration: 500 * time.Microsecond, Occupancy: 1}
+			dev.Submit(k)
+			k.Done.Wait(p)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	if len(seen) == 0 {
+		t.Fatal("observer never fired despite planned stalls")
+	}
+	if got := in.Counters().DeviceStalls; len(seen) != got {
+		t.Fatalf("observer fired %d times, injector counted %d stalls", len(seen), got)
+	}
+	for _, s := range seen {
+		if s.until <= s.at {
+			t.Fatalf("stall at %v reports reopen time %v, want strictly later", s.at, s.until)
+		}
+	}
+}

@@ -151,6 +151,7 @@ type Device struct {
 	inj        *faults.Injector
 	stallUntil sim.Time
 	stallArmed bool
+	onStall    func(until sim.Time)
 
 	memUsed int64
 	stats   Stats
@@ -211,6 +212,16 @@ func (d *Device) Submit(k *Kernel) *sim.Event {
 // kernels keep running). Call it once, before the run starts.
 func (d *Device) InjectFaults(in *faults.Injector) { d.inj = in }
 
+// SetStallObserver registers a callback invoked at the start of each
+// injected driver stall with the time at which admission reopens. A cluster
+// router uses it to drain the device and fail requests over to surviving
+// replicas. The callback runs in event-loop context and must not block.
+func (d *Device) SetStallObserver(fn func(until sim.Time)) { d.onStall = fn }
+
+// Stalled reports whether an injected driver stall currently blocks kernel
+// admission.
+func (d *Device) Stalled() bool { return d.stalled() }
+
 // armStall schedules the next injected driver stall, if the injector plans
 // stalls and none is pending. The stall chain is re-armed only while the
 // device has work, so an idle device's event queue still drains and the run
@@ -229,6 +240,9 @@ func (d *Device) armStall() {
 		until := d.env.Now().Add(dur)
 		if until > d.stallUntil {
 			d.stallUntil = until
+		}
+		if d.onStall != nil {
+			d.onStall(d.stallUntil)
 		}
 		d.env.Schedule(dur, func() { d.pump() })
 		if d.queued > 0 || d.outstanding > 0 {

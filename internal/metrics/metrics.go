@@ -112,6 +112,39 @@ func Quantile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// Percentiles summarises a latency sample by its p50/p95/p99 quantiles (in
+// the sample's unit, conventionally seconds). The zero value means "no
+// samples".
+type Percentiles struct {
+	N             int
+	P50, P95, P99 float64
+}
+
+// PercentilesOf computes the p50/p95/p99 of xs. An empty sample yields the
+// zero value (not NaNs), so reports can render absent models cleanly.
+func PercentilesOf(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Percentiles{
+		N:   len(sorted),
+		P50: Quantile(sorted, 0.50),
+		P95: Quantile(sorted, 0.95),
+		P99: Quantile(sorted, 0.99),
+	}
+}
+
+// String renders the percentiles in milliseconds.
+func (p Percentiles) String() string {
+	if p.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%.1fms p95=%.1fms p99=%.1fms",
+		p.N, p.P50*1e3, p.P95*1e3, p.P99*1e3)
+}
+
 // CDFPoint is one (value, cumulative fraction) pair.
 type CDFPoint struct {
 	Value float64

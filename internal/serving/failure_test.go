@@ -3,6 +3,7 @@ package serving
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -179,7 +180,7 @@ func TestServingUnderFaultsIsDeterministic(t *testing.T) {
 	if a.Completed+a.Failed != a.Requests {
 		t.Fatalf("stats %+v don't account for every request", a)
 	}
-	if b := run(); a != b {
+	if b := run(); !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed, different stats:\n%+v\n%+v", a, b)
 	}
 }

@@ -34,6 +34,10 @@ var (
 	// ErrExpired marks a request dropped in the batcher because its
 	// deadline passed before it was dispatched.
 	ErrExpired = errors.New("serving: deadline expired in queue")
+	// ErrDrained marks a request removed from the queue by DrainQueued —
+	// the device is being taken out of rotation (failover) and the caller
+	// should resubmit the request elsewhere.
+	ErrDrained = errors.New("serving: queue drained for failover")
 )
 
 // Request is one inference request for a single input.
@@ -62,11 +66,25 @@ type Request struct {
 // Failed reports whether the request ended in an error.
 func (r *Request) Failed() bool { return r.Err != nil }
 
-// Latency returns the request's end-to-end response time.
-func (r *Request) Latency() time.Duration { return time.Duration(r.FinishAt - r.ArriveAt) }
+// Latency returns the request's end-to-end response time, or 0 for a
+// request that has not finished (FinishAt is only stamped on completion or
+// failure, so an in-flight request must not report a garbage duration).
+func (r *Request) Latency() time.Duration {
+	if r.FinishAt == 0 || r.FinishAt < r.ArriveAt {
+		return 0
+	}
+	return time.Duration(r.FinishAt - r.ArriveAt)
+}
 
-// QueueDelay returns time spent waiting in the batcher.
-func (r *Request) QueueDelay() time.Duration { return time.Duration(r.BatchedAt - r.ArriveAt) }
+// QueueDelay returns time spent waiting in the batcher, or 0 for a request
+// that was shed, expired, or drained before the batcher ever dispatched it
+// (BatchedAt is never stamped on those paths).
+func (r *Request) QueueDelay() time.Duration {
+	if r.BatchedAt == 0 || r.BatchedAt < r.ArriveAt {
+		return 0
+	}
+	return time.Duration(r.BatchedAt - r.ArriveAt)
+}
 
 // Config parameterises a server.
 type Config struct {
@@ -110,6 +128,12 @@ type Config struct {
 	Faults *faults.Injector
 }
 
+// ModelLatency is one model's completed-request latency percentiles.
+type ModelLatency struct {
+	Model   string
+	Latency metrics.Percentiles
+}
+
 // Stats summarises a server's activity.
 type Stats struct {
 	Requests      int
@@ -119,6 +143,9 @@ type Stats struct {
 	MeanBatchSize float64
 	// Latency quantiles in seconds, over completed requests.
 	P50, P95, P99 float64
+	// PerModel breaks the latency quantiles down by model, sorted by model
+	// name so reports and determinism checks see a stable order.
+	PerModel []ModelLatency
 	// Utilization of the device over the run.
 	Utilization float64
 	// Degraded tallies faults, retries, and shed load.
@@ -286,6 +313,32 @@ func (s *Server) fail(r *Request, err error) {
 	r.done.Trigger()
 }
 
+// DrainQueued fails every request still waiting in a batcher queue with
+// ErrDrained and returns how many were drained. Requests already dispatched
+// in a batch are left to finish on the device. A cluster router calls this
+// when it takes the device out of rotation (e.g. on an injected driver
+// stall) so the queued work can be resubmitted to surviving replicas.
+func (s *Server) DrainQueued() int {
+	// Drain in sorted model order: map iteration order would leak into the
+	// order drained waiters wake (and hence re-route), breaking same-seed
+	// determinism.
+	names := make([]string, 0, len(s.queues))
+	for name := range s.queues {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	n := 0
+	for _, name := range names {
+		q := s.queues[name]
+		for _, r := range q {
+			s.fail(r, ErrDrained)
+			n++
+		}
+		s.queues[name] = q[:0]
+	}
+	return n
+}
+
 // dropExpired removes requests whose deadline already passed from a
 // model's queue, failing each with ErrExpired.
 func (s *Server) dropExpired(modelName string) {
@@ -402,6 +455,7 @@ func (s *Server) Stats() Stats {
 	st := Stats{Requests: len(s.requests), Batches: s.batches}
 	var lats []float64
 	var sizes int
+	byModel := make(map[string][]float64)
 	for _, r := range s.requests {
 		if r.Failed() {
 			st.Failed++
@@ -412,6 +466,7 @@ func (s *Server) Stats() Stats {
 		}
 		st.Completed++
 		lats = append(lats, r.Latency().Seconds())
+		byModel[r.Model] = append(byModel[r.Model], r.Latency().Seconds())
 		sizes += r.BatchSize
 	}
 	if len(lats) > 0 {
@@ -419,6 +474,16 @@ func (s *Server) Stats() Stats {
 		st.P50 = metrics.Quantile(lats, 0.50)
 		st.P95 = metrics.Quantile(lats, 0.95)
 		st.P99 = metrics.Quantile(lats, 0.99)
+	}
+	names := make([]string, 0, len(byModel))
+	for name := range byModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.PerModel = append(st.PerModel, ModelLatency{
+			Model: name, Latency: metrics.PercentilesOf(byModel[name]),
+		})
 	}
 	if len(lats) > 0 {
 		st.MeanBatchSize = float64(sizes) / float64(len(lats))
