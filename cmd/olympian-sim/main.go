@@ -8,6 +8,7 @@
 //	olympian-sim -quick fig16          # shrunken workloads for smoke runs
 //	olympian-sim -seed 7 fig3          # different randomness
 //	olympian-sim cluster               # multi-GPU fleet: scaling + failover
+//	olympian-sim overload              # overload control: admission, shedding, hedging
 //	olympian-sim -bench-json           # substrate benchmarks -> BENCH_<stamp>.json
 //
 // Each experiment prints the same rows the paper's table or figure reports,

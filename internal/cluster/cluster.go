@@ -27,6 +27,7 @@ import (
 	"olympian/internal/gpu"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/overload"
 	"olympian/internal/planner"
 	"olympian/internal/profiler"
 	"olympian/internal/serving"
@@ -61,6 +62,16 @@ type Config struct {
 	// MaxFailovers caps how often one request is re-dispatched after
 	// drains before it fails with the drain error (default 3).
 	MaxFailovers int
+	// HedgeDelay, when > 0, arms a hedge timer per request: if the request
+	// has not completed after this delay, a duplicate is dispatched to the
+	// next-best replica (never one already serving it). First completion
+	// wins; the loser is cancelled through the serving layer's cancel path
+	// (which reaches the executor's gang abort when the loser's batch is
+	// already on the device). Zero disables hedging.
+	HedgeDelay time.Duration
+	// Admission forwards an AIMD adaptive-admission config to every
+	// device's serving front-end (nil = static queue bounds only).
+	Admission *overload.AIMDConfig
 	// Profiles caches the offline profiles the cost-weighted router and
 	// the placement planner read; a private store is used when nil.
 	Profiles *profiler.Store
@@ -75,23 +86,45 @@ type Cluster struct {
 
 	requests  []*Request
 	failovers int
+	hedges    int
+	hedgeWins int
 }
 
-// Request is one cluster-level inference request. It wraps the current
-// device-level serving.Request and survives failover: when the device
-// drains, Wait re-dispatches to a surviving replica transparently.
+// Request is one cluster-level inference request. It survives failover
+// (drained attempts re-dispatch to surviving replicas) and may be hedged
+// (a duplicate races the primary on another replica; first completion
+// wins, the loser is cancelled). Each dispatch attempt is observed by its
+// own watcher process, so completion order — not submission order —
+// decides the winner, deterministically under the simulation kernel.
 type Request struct {
 	// Model is the target model name.
 	Model string
-	// Device is the replica currently (or finally) serving the request.
+	// Class is the request's priority class.
+	Class overload.Class
+	// Device is the replica that finally served (or last held) the request.
 	Device int
 	// Hops counts failover re-dispatches.
 	Hops int
+	// Hedged reports whether a duplicate was dispatched.
+	Hedged bool
 	// ArriveAt is when the request first entered the cluster.
 	ArriveAt sim.Time
 
-	c     *Cluster
+	c    *Cluster
+	done *sim.Event
+	// pending lists outstanding dispatch attempts (primary, failover
+	// re-dispatches, at most one hedge).
+	pending []attempt
+	settled bool
+	winner  *serving.Request
+	err     error
+}
+
+// attempt is one dispatch of a request to one replica.
+type attempt struct {
+	dev   int
 	inner *serving.Request
+	hedge bool
 }
 
 // New builds a cluster inside env. Every device gets its own gpu.Device,
@@ -141,7 +174,7 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 		if i < len(cfg.Faults) && cfg.Faults[i] != nil && cfg.Faults[i].Enabled() {
 			inj = faults.New(cfg.Seed+int64(i)*1031, *cfg.Faults[i])
 		}
-		srv := serving.NewServer(env, serving.Config{
+		srv, err := serving.NewServer(env, serving.Config{
 			Spec:         spec,
 			UseOlympian:  true,
 			Policy:       cfg.Policy(),
@@ -152,7 +185,11 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 			Deadline:     cfg.Deadline,
 			Seed:         cfg.Seed + int64(i)*101,
 			Faults:       inj,
+			Admission:    cfg.Admission,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: device %d: %w", i, err)
+		}
 		c.servers = append(c.servers, srv)
 		dev := srv.Device()
 		i := i
@@ -207,71 +244,163 @@ func (c *Cluster) Server(i int) *serving.Server { return c.servers[i] }
 // Devices returns the fleet size.
 func (c *Cluster) Devices() int { return len(c.servers) }
 
-// Submit routes one request to a replica and enqueues it there. It must be
-// called from process context, and every submitted request must eventually
-// be Waited on — Wait is where failover re-dispatch and the router's
-// outstanding accounting happen.
+// Submit routes one interactive-class request to a replica and enqueues it
+// there. It must be called from process context.
 func (c *Cluster) Submit(p *sim.Proc, modelName string) (*Request, error) {
+	return c.SubmitClass(p, modelName, overload.Interactive)
+}
+
+// SubmitClass routes one request of the given priority class to a replica
+// and enqueues it there. Each dispatch attempt (the primary, any failover
+// re-dispatch, an optional hedge) is observed by its own watcher process;
+// callers just Wait on the request.
+func (c *Cluster) SubmitClass(p *sim.Proc, modelName string, class overload.Class) (*Request, error) {
 	dev, err := c.router.Route(modelName, false)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := c.servers[dev].Submit(p, modelName)
+	inner, err := c.servers[dev].SubmitClass(p, modelName, class)
 	if err != nil {
 		c.router.release(dev)
 		return nil, err
 	}
 	req := &Request{
-		Model: modelName, Device: dev, ArriveAt: inner.ArriveAt,
-		c: c, inner: inner,
+		Model: modelName, Class: class, Device: dev, ArriveAt: inner.ArriveAt,
+		c: c, done: c.env.NewEvent(),
 	}
 	c.requests = append(c.requests, req)
+	req.watch(dev, inner, false)
+	if c.cfg.HedgeDelay > 0 {
+		req.armHedge()
+	}
 	return req, nil
 }
 
-// Wait blocks p until the request completes, re-dispatching it to a
-// surviving replica each time a drained device hands it back (up to the
-// configured failover cap).
-func (r *Request) Wait(p *sim.Proc) {
-	for {
-		r.inner.Wait(p)
-		r.c.router.release(r.Device)
-		if !errors.Is(r.inner.Err, serving.ErrDrained) || r.Hops >= r.c.cfg.MaxFailovers {
+// watch registers one dispatch attempt and spawns its watcher process. The
+// watcher waits for the attempt's serving-layer outcome, returns the
+// router's outstanding slot, and feeds the result into attemptDone, where
+// the first success settles the request and drains trigger re-dispatch.
+func (r *Request) watch(dev int, inner *serving.Request, hedge bool) {
+	r.pending = append(r.pending, attempt{dev: dev, inner: inner, hedge: hedge})
+	r.c.env.Go("cluster-watch", func(wp *sim.Proc) {
+		inner.Wait(wp)
+		r.c.router.release(dev)
+		r.attemptDone(wp, dev, inner, hedge)
+	})
+}
+
+// attemptDone folds one finished dispatch attempt into the request's state.
+func (r *Request) attemptDone(p *sim.Proc, dev int, inner *serving.Request, hedge bool) {
+	for i, a := range r.pending {
+		if a.inner == inner {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			break
+		}
+	}
+	if r.settled {
+		// A loser finishing after the race was decided: cancelled, or a
+		// photo-finish completion on the slower replica. Either way the
+		// winner already settled the request.
+		return
+	}
+	switch {
+	case inner.Err == nil:
+		r.settle(p, dev, inner, nil)
+		if hedge {
+			r.c.hedgeWins++
+		}
+	case errors.Is(inner.Err, serving.ErrDrained) && r.Hops < r.c.cfg.MaxFailovers:
+		next, err := r.c.router.Route(r.Model, true)
+		if err == nil {
+			var re *serving.Request
+			re, err = r.c.servers[next].SubmitClass(p, r.Model, r.Class)
+			if err != nil {
+				r.c.router.release(next)
+			} else {
+				r.Hops++
+				r.c.failovers++
+				r.watch(next, re, hedge)
+				return
+			}
+		}
+		if len(r.pending) == 0 {
+			r.settle(p, dev, nil, inner.Err)
+		}
+	default:
+		// Terminal failure for this attempt; another attempt may still be
+		// racing, so only the last one standing settles the request.
+		if len(r.pending) == 0 {
+			r.settle(p, dev, nil, inner.Err)
+		}
+	}
+}
+
+// settle decides the request and cancels any still-racing attempts through
+// the serving layer's cancel path (which reaches the executor's gang abort
+// when a loser's batch is already resident on its device).
+func (r *Request) settle(p *sim.Proc, dev int, winner *serving.Request, err error) {
+	r.settled = true
+	r.winner = winner
+	r.err = err
+	if winner != nil {
+		r.Device = dev
+	}
+	for _, a := range r.pending {
+		r.c.servers[a.dev].Cancel(p, a.inner)
+	}
+	r.done.Trigger()
+}
+
+// armHedge starts the request's hedge timer: if the request is still
+// undecided after HedgeDelay, a duplicate is dispatched to the next-best
+// replica not already serving it. At most one hedge is dispatched per
+// request.
+func (r *Request) armHedge() {
+	r.c.env.Go("cluster-hedge", func(hp *sim.Proc) {
+		hp.Sleep(sim.Duration(r.c.cfg.HedgeDelay))
+		if r.settled || r.Hedged {
 			return
 		}
-		dev, err := r.c.router.Route(r.Model, true)
+		exclude := make([]int, 0, len(r.pending))
+		for _, a := range r.pending {
+			exclude = append(exclude, a.dev)
+		}
+		dev, err := r.c.router.RouteHedge(r.Model, exclude)
 		if err != nil {
 			return
 		}
-		inner, err := r.c.servers[dev].Submit(p, r.Model)
+		inner, err := r.c.servers[dev].SubmitClass(hp, r.Model, r.Class)
 		if err != nil {
 			r.c.router.release(dev)
 			return
 		}
-		r.Hops++
-		r.c.failovers++
-		r.Device = dev
-		r.inner = inner
-	}
+		r.Hedged = true
+		r.c.hedges++
+		r.watch(dev, inner, true)
+	})
 }
 
+// Wait blocks p until the request settles: its first successful attempt
+// completes, or its last attempt fails.
+func (r *Request) Wait(p *sim.Proc) { r.done.Wait(p) }
+
 // Err returns the request's final error (nil on success).
-func (r *Request) Err() error { return r.inner.Err }
+func (r *Request) Err() error { return r.err }
 
 // Failed reports whether the request ended in an error.
-func (r *Request) Failed() bool { return r.inner.Err != nil }
+func (r *Request) Failed() bool { return r.settled && r.err != nil }
 
 // Finished reports whether the request has completed or failed.
-func (r *Request) Finished() bool { return r.inner.FinishAt != 0 || r.inner.Err != nil }
+func (r *Request) Finished() bool { return r.settled }
 
 // Latency returns the end-to-end response time from first arrival at the
-// cluster to final completion, spanning any failover hops; 0 while the
-// request is still in flight.
+// cluster to the winning attempt's completion, spanning any failover hops
+// and hedges; 0 while the request is still in flight or after a failure.
 func (r *Request) Latency() time.Duration {
-	if r.inner.FinishAt == 0 || r.inner.FinishAt < r.ArriveAt {
+	if r.winner == nil || r.winner.FinishAt < r.ArriveAt {
 		return 0
 	}
-	return time.Duration(r.inner.FinishAt - r.ArriveAt)
+	return time.Duration(r.winner.FinishAt - r.ArriveAt)
 }
 
 // Stats aggregates the fleet's activity.
@@ -286,6 +415,11 @@ type Stats struct {
 	Failed    int
 	// Failovers counts re-dispatches after drains.
 	Failovers int
+	// Hedges counts hedged duplicates dispatched; HedgeWins counts races the
+	// hedge won. A request whose hedge was dispatched and lost still counts
+	// exactly once in Completed — losers are cancelled, never double-counted.
+	Hedges    int
+	HedgeWins int
 	// Goodput is completed cluster requests per second of virtual time.
 	Goodput float64
 	// PerDevice holds each device's serving stats.
@@ -305,7 +439,7 @@ type Stats struct {
 
 // Stats summarises the cluster's activity so far.
 func (c *Cluster) Stats() Stats {
-	st := Stats{Devices: len(c.servers), Failovers: c.failovers}
+	st := Stats{Devices: len(c.servers), Failovers: c.failovers, Hedges: c.hedges, HedgeWins: c.hedgeWins}
 	now := c.env.Now()
 	for _, srv := range c.servers {
 		ds := srv.Stats()

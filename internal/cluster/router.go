@@ -51,6 +51,8 @@ type Decision struct {
 	Device int
 	// Failover marks a re-dispatch after the original device was drained.
 	Failover bool
+	// Hedge marks a hedged duplicate dispatched to a second replica.
+	Hedge bool
 }
 
 // Router dispatches requests to model replicas. It is single-environment
@@ -128,7 +130,34 @@ func (rt *Router) Down(device int) bool { return rt.env.Now() < rt.downUntil[dev
 // (queueing at a wedged device beats failing the request outright —
 // resident kernels keep executing through a stall).
 func (rt *Router) Route(modelName string, failover bool) (int, error) {
+	return rt.route(modelName, failover, false, nil)
+}
+
+// RouteHedge picks a replica for a hedged duplicate, never reusing a device
+// in exclude (the devices already serving the request). It errors when no
+// other replica exists — a single-replica model simply cannot hedge.
+func (rt *Router) RouteHedge(modelName string, exclude []int) (int, error) {
+	return rt.route(modelName, false, true, exclude)
+}
+
+func (rt *Router) route(modelName string, failover, hedge bool, exclude []int) (int, error) {
 	cands := rt.Replicas(modelName)
+	if len(exclude) > 0 {
+		kept := make([]int, 0, len(cands))
+		for _, d := range cands {
+			skip := false
+			for _, x := range exclude {
+				if d == x {
+					skip = true
+					break
+				}
+			}
+			if !skip {
+				kept = append(kept, d)
+			}
+		}
+		cands = kept
+	}
 	healthy := make([]int, 0, len(cands))
 	for _, d := range cands {
 		if !rt.Down(d) {
@@ -169,7 +198,7 @@ func (rt *Router) Route(modelName string, failover bool) (int, error) {
 	}
 	rt.outstanding[pick]++
 	rt.decisions = append(rt.decisions, Decision{
-		Seq: len(rt.decisions), Model: modelName, Device: pick, Failover: failover,
+		Seq: len(rt.decisions), Model: modelName, Device: pick, Failover: failover, Hedge: hedge,
 	})
 	return pick, nil
 }
@@ -193,7 +222,7 @@ func (rt *Router) Decisions() []Decision { return rt.decisions }
 func (rt *Router) DecisionHash() uint64 {
 	h := fnv.New64a()
 	for _, d := range rt.decisions {
-		fmt.Fprintf(h, "%d:%s:%d:%t;", d.Seq, d.Model, d.Device, d.Failover)
+		fmt.Fprintf(h, "%d:%s:%d:%t:%t;", d.Seq, d.Model, d.Device, d.Failover, d.Hedge)
 	}
 	return h.Sum64()
 }

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"olympian/internal/faults"
+	"olympian/internal/gpu"
+	"olympian/internal/model"
+	"olympian/internal/sim"
+)
+
+// testRouter builds a bare router over n devices with a constant debt unit.
+func testRouter(env *sim.Env, n int, policy RoutePolicy) *Router {
+	return newRouter(env, n, policy, func(string) (time.Duration, error) {
+		return time.Millisecond, nil
+	})
+}
+
+func TestRouteDegradesWhenAllReplicasDown(t *testing.T) {
+	env := sim.NewEnv(1)
+	rt := testRouter(env, 2, RoundRobin)
+	until := sim.Time(0).Add(10 * time.Millisecond)
+	rt.MarkDown(0, until)
+	rt.MarkDown(1, until)
+	// Every replica down: the router must still route (queueing at a wedged
+	// device beats failing outright) rather than error.
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		dev, err := rt.Route(model.Inception, false)
+		if err != nil {
+			t.Fatalf("route with all replicas down errored: %v", err)
+		}
+		seen[dev] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("degraded routing used devices %v, want both", seen)
+	}
+}
+
+func TestDownBoundaryAtDownUntil(t *testing.T) {
+	env := sim.NewEnv(1)
+	rt := testRouter(env, 2, RoundRobin)
+	until := sim.Time(0).Add(5 * time.Millisecond)
+	rt.MarkDown(0, until)
+	if !rt.Down(0) {
+		t.Fatal("device 0 not down immediately after MarkDown")
+	}
+	// MarkDown never shrinks an existing window.
+	rt.MarkDown(0, sim.Time(0).Add(time.Millisecond))
+	if rt.downUntil[0] != until {
+		t.Fatalf("shorter MarkDown shrank the window to %v, want %v", rt.downUntil[0], until)
+	}
+	env.Go("probe", func(p *sim.Proc) {
+		p.Sleep(5*time.Millisecond - time.Nanosecond)
+		if !rt.Down(0) {
+			t.Error("device 0 back up one tick before downUntil")
+		}
+		p.Sleep(time.Nanosecond) // env.Now() == downUntil exactly
+		if rt.Down(0) {
+			t.Error("device 0 still down at env.Now() == downUntil (boundary must be exclusive)")
+		}
+		// Routing at the boundary must prefer the recovered device pool.
+		if _, err := rt.Route(model.Inception, false); err != nil {
+			t.Errorf("route at recovery boundary: %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	rt.MarkDown(1, sim.Time(0).Add(time.Hour))
+	rt.MarkUp(1)
+	if rt.Down(1) {
+		t.Fatal("MarkUp did not return the device to rotation")
+	}
+}
+
+func TestRouteHedgeExcludesBusyReplicas(t *testing.T) {
+	env := sim.NewEnv(1)
+	rt := testRouter(env, 2, LeastOutstanding)
+	dev, err := rt.RouteHedge(model.Inception, []int{0})
+	if err != nil {
+		t.Fatalf("RouteHedge: %v", err)
+	}
+	if dev != 1 {
+		t.Fatalf("hedge routed to excluded-adjacent device %d, want 1", dev)
+	}
+	if _, err := rt.RouteHedge(model.Inception, []int{0, 1}); err == nil {
+		t.Fatal("RouteHedge with every replica excluded succeeded, want error")
+	}
+	decs := rt.Decisions()
+	if len(decs) != 1 || !decs[0].Hedge {
+		t.Fatalf("decision log %+v, want exactly one hedge-marked decision", decs)
+	}
+}
+
+func TestHedgedRequestsFirstWinNoDoubleCount(t *testing.T) {
+	env := sim.NewEnv(9)
+	plans := []*faults.Plan{
+		{StallEvery: 15 * time.Millisecond, StallDur: 50 * time.Millisecond},
+		nil,
+	}
+	c, err := New(env, Config{
+		Seed: 9, Devices: twoDevices(), Faults: plans,
+		Route: RoundRobin, MaxBatch: 8, BatchTimeout: 4 * time.Millisecond,
+		HedgeDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	runTraffic(t, env, c, []string{model.Inception}, n, 700*time.Microsecond)
+	st := c.Stats()
+	if st.Hedges == 0 {
+		t.Fatal("stalled device produced no hedges; hedge timer never engaged")
+	}
+	// First completion wins, the loser is cancelled: every request settles
+	// exactly once, so hedging must never inflate the completion count.
+	if st.Completed+st.Failed != st.Requests {
+		t.Fatalf("completed %d + failed %d != requests %d (hedges double-counted?)",
+			st.Completed, st.Failed, st.Requests)
+	}
+	if st.Requests != n {
+		t.Fatalf("%d requests recorded, want %d", st.Requests, n)
+	}
+	hedgeDecs := 0
+	for _, d := range c.Router().Decisions() {
+		if d.Hedge {
+			hedgeDecs++
+		}
+	}
+	if hedgeDecs != st.Hedges {
+		t.Fatalf("decision log has %d hedge dispatches, stats say %d", hedgeDecs, st.Hedges)
+	}
+	if st.HedgeWins > st.Hedges {
+		t.Fatalf("hedge wins %d exceed hedges %d", st.HedgeWins, st.Hedges)
+	}
+	// Losers are cancelled through the serving layer; a hedge that lost (or
+	// a primary beaten by its hedge) shows up in the cancel tally.
+	if st.Degraded.Canceled == 0 {
+		t.Fatal("no cancelled losers despite hedged races")
+	}
+}
+
+func TestHedgedClusterIsDeterministic(t *testing.T) {
+	run := func() (Stats, uint64) {
+		env := sim.NewEnv(9)
+		plans := []*faults.Plan{
+			{StallEvery: 15 * time.Millisecond, StallDur: 50 * time.Millisecond},
+			nil,
+		}
+		c, err := New(env, Config{
+			Seed: 9, Devices: twoDevices(), Faults: plans,
+			Route: RoundRobin, MaxBatch: 8, BatchTimeout: 4 * time.Millisecond,
+			HedgeDelay: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runTraffic(t, env, c, []string{model.Inception}, 60, 700*time.Microsecond)
+		st := c.Stats()
+		return st, st.DecisionHash
+	}
+	st1, h1 := run()
+	st2, h2 := run()
+	if h1 != h2 {
+		t.Fatalf("same-seed hedged runs produced different decision hashes %x vs %x", h1, h2)
+	}
+	if st1.Hedges != st2.Hedges || st1.HedgeWins != st2.HedgeWins || st1.Completed != st2.Completed {
+		t.Fatalf("same-seed hedged runs diverged:\n%+v\n%+v", st1, st2)
+	}
+}
+
+func TestSubmitClassPropagatesToServing(t *testing.T) {
+	env := sim.NewEnv(4)
+	c, err := New(env, Config{Seed: 4, Devices: []gpu.Spec{gpu.GTX1080Ti}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("client", func(p *sim.Proc) {
+		req, err := c.SubmitClass(p, model.Inception, 0) // batch class
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			return
+		}
+		req.Wait(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+	bc := c.Server(0).Stats().Degraded.ByClass[0]
+	if bc.Submitted != 1 || bc.Completed != 1 {
+		t.Fatalf("batch-class serving tally %+v, want 1 submitted and completed", bc)
+	}
+}

@@ -37,11 +37,14 @@ func ExtBatching(o Options) (*Report, error) {
 	var pts []point
 	for _, maxBatch := range []int{1, 8, 32} {
 		env := sim.NewEnv(o.Seed)
-		srv := serving.NewServer(env, serving.Config{
+		srv, err := serving.NewServer(env, serving.Config{
 			MaxBatch:     maxBatch,
 			BatchTimeout: 5 * time.Millisecond,
 			Seed:         o.Seed,
 		})
+		if err != nil {
+			return r, err
+		}
 		// Open-loop Poisson arrivals.
 		rng := rand.New(rand.NewSource(o.Seed + 31))
 		t := time.Duration(0)

@@ -86,7 +86,7 @@ func Chaos(o Options) (*Report, error) {
 	serve := func() (serving.Stats, time.Duration, int) {
 		env := sim.NewEnv(o.Seed)
 		inj := faults.New(o.Seed, burstPlan)
-		srv := serving.NewServer(env, serving.Config{
+		srv, err := serving.NewServer(env, serving.Config{
 			MaxBatch:     8,
 			BatchTimeout: 5 * time.Millisecond,
 			MaxQueue:     64,
@@ -94,6 +94,9 @@ func Chaos(o Options) (*Report, error) {
 			Seed:         o.Seed,
 			Faults:       inj,
 		})
+		if err != nil {
+			panic(err)
+		}
 		// Open-loop Poisson arrivals, thinned through the injector's burst
 		// windows: inside a burst the offered rate is BurstFactor higher.
 		rng := rand.New(rand.NewSource(o.Seed + 31))

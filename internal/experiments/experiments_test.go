@@ -387,3 +387,36 @@ func TestClusterScalesAndFailsOver(t *testing.T) {
 		t.Fatalf("%v requests failed despite failover", r.Metric("failover_failed"))
 	}
 }
+
+func TestOverloadControl(t *testing.T) {
+	r, err := Overload(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric("deterministic") != 1 {
+		t.Fatal("same-seed overload runs diverged")
+	}
+	// Goodput must plateau, not collapse, as offered load quadruples.
+	if ratio := r.Metric("plateau_ratio"); ratio < 0.9 {
+		t.Fatalf("goodput at 4x is %.2fx the 1x plateau, want >= 0.9 (congestion collapse)", ratio)
+	}
+	// Strict priority: the batch class absorbs the shedding while
+	// interactive work keeps completing.
+	if r.Metric("interactive_completed_4x") == 0 {
+		t.Fatal("interactive class starved at 4x load")
+	}
+	il, bl := r.Metric("interactive_loss_frac_4x"), r.Metric("batch_loss_frac_4x")
+	if il >= bl {
+		t.Fatalf("interactive lost %.2f vs batch %.2f; shedding must land on the lower class", il, bl)
+	}
+	if r.Metric("admission_sheds_4x") == 0 {
+		t.Fatal("adaptive admission never shed at 4x load; the sweep is not overloading")
+	}
+	// Hedging fired and never double-counted a completion.
+	if r.Metric("hedges") == 0 {
+		t.Fatal("hedge path never engaged")
+	}
+	if over := r.Metric("hedge_overcount"); over != 0 {
+		t.Fatalf("hedged fleet accounted %+.0f extra completions, want exactly 0", over)
+	}
+}

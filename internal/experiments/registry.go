@@ -41,6 +41,7 @@ func Registry() []Entry {
 		{"ext-slicing", "Extension: kernel-slicing baseline", ExtKernelSlicing},
 		{"chaos", "Chaos: fairness and tails under injected faults", Chaos},
 		{"cluster", "Extension: multi-GPU cluster serving", Cluster},
+		{"overload", "Overload control: adaptive admission, priority shedding, hedging", Overload},
 	}
 }
 

@@ -92,6 +92,7 @@ type Injector struct {
 	abortRNG  *rand.Rand
 	stallRNG  *rand.Rand
 	burstRNG  *rand.Rand
+	retryRNG  *rand.Rand
 
 	bursts    []burst
 	burstNext sim.Time // arrival time of the next burst to generate
@@ -107,7 +108,19 @@ func New(seed int64, plan Plan) *Injector {
 		abortRNG:  rand.New(rand.NewSource(seed ^ 0x61626f72)), // "abor"
 		stallRNG:  rand.New(rand.NewSource(seed ^ 0x7374616c)), // "stal"
 		burstRNG:  rand.New(rand.NewSource(seed ^ 0x62757273)), // "burs"
+		retryRNG:  rand.New(rand.NewSource(seed ^ 0x72657472)), // "retr"
 	}
+}
+
+// RetryJitter draws a uniform [0,1) sample from the retry-backoff stream.
+// Clients feed it to overload.Backoff so retry timing is de-synchronized
+// within a run yet bit-identical across same-seed runs. A nil injector
+// returns 0.5 (the jitter midpoint: plain exponential backoff).
+func (in *Injector) RetryJitter() float64 {
+	if in == nil {
+		return 0.5
+	}
+	return in.retryRNG.Float64()
 }
 
 // Plan returns the injector's configuration.

@@ -141,3 +141,32 @@ func TestFaultRatesRoughlyMatchPlan(t *testing.T) {
 		t.Fatalf("counters %+v disagree with draws (%d, %d)", c, kf, ab)
 	}
 }
+
+func TestRetryJitterStreamDeterministicAndNilSafe(t *testing.T) {
+	var nilInj *Injector
+	if got := nilInj.RetryJitter(); got != 0.5 {
+		t.Fatalf("nil injector jitter = %v, want 0.5 (plain exponential backoff)", got)
+	}
+	a := New(11, Plan{KernelFailRate: 0.5})
+	b := New(11, Plan{KernelFailRate: 0.5})
+	for i := 0; i < 100; i++ {
+		ja, jb := a.RetryJitter(), b.RetryJitter()
+		if ja != jb {
+			t.Fatalf("same-seed retry jitter diverged at draw %d: %v vs %v", i, ja, jb)
+		}
+		if ja < 0 || ja >= 1 {
+			t.Fatalf("jitter draw %d = %v outside [0,1)", i, ja)
+		}
+	}
+	// Drawing retry jitter must not perturb the other fault streams.
+	c := New(11, Plan{KernelFailRate: 0.5})
+	d := New(11, Plan{KernelFailRate: 0.5})
+	for i := 0; i < 50; i++ {
+		c.RetryJitter()
+	}
+	for i := 0; i < 50; i++ {
+		if c.KernelFails() != d.KernelFails() {
+			t.Fatalf("retry draws perturbed the kernel stream at draw %d", i)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"olympian/internal/overload"
 )
 
 // Summary holds basic descriptive statistics.
@@ -176,6 +178,44 @@ func FractionBelow(xs []float64, threshold float64) float64 {
 	return float64(n) / float64(len(xs))
 }
 
+// ClassCounts tallies one priority class's outcomes at the serving layer.
+type ClassCounts struct {
+	// Submitted counts arrivals of the class.
+	Submitted int
+	// Completed counts successful completions (the class's goodput).
+	Completed int
+	// Shed counts requests dropped by admission control: limiter sheds,
+	// queue-full drops, and priority evictions alike.
+	Shed int
+	// Expired counts requests dropped in queue past their deadline.
+	Expired int
+	// DeadlineMisses counts requests served after their deadline.
+	DeadlineMisses int
+}
+
+// Any reports whether the class saw any traffic.
+func (c ClassCounts) Any() bool { return c != ClassCounts{} }
+
+// Merge adds o's tallies into c.
+func (c *ClassCounts) Merge(o ClassCounts) {
+	c.Submitted += o.Submitted
+	c.Completed += o.Completed
+	c.Shed += o.Shed
+	c.Expired += o.Expired
+	c.DeadlineMisses += o.DeadlineMisses
+}
+
+// ByClass indexes ClassCounts by overload.Class. It is a fixed-size array
+// so Degraded stays comparable (determinism probes use ==).
+type ByClass [overload.NumClasses]ClassCounts
+
+// Merge adds o's per-class tallies into b.
+func (b *ByClass) Merge(o ByClass) {
+	for i := range b {
+		b[i].Merge(o[i])
+	}
+}
+
 // Degraded tallies a run's degraded-mode events: the faults injected into
 // it, the recovery work they forced, and the requests that were shed or
 // expired instead of served. A fault-free run reports the zero value.
@@ -188,10 +228,17 @@ type Degraded struct {
 	KernelRetries int
 	BatchRetries  int
 	BatchFailures int
+	// RetryDenied counts retries refused by an exhausted retry budget.
+	RetryDenied int
 	// SLO-aware shedding at the serving layer.
 	Drops          int // rejected at admission (bounded queue full)
+	AdmissionSheds int // rejected by the AIMD adaptive admission limiter
+	Evictions      int // queued low-priority work displaced by high-priority arrivals
 	Expired        int // dropped in queue past their deadline
 	DeadlineMisses int // served, but after their deadline
+	Canceled       int // hedge losers cancelled after the duplicate won
+	// ByClass breaks serving outcomes down per priority class.
+	ByClass ByClass
 }
 
 // Merge adds o's tallies into d.
@@ -202,9 +249,14 @@ func (d *Degraded) Merge(o Degraded) {
 	d.KernelRetries += o.KernelRetries
 	d.BatchRetries += o.BatchRetries
 	d.BatchFailures += o.BatchFailures
+	d.RetryDenied += o.RetryDenied
 	d.Drops += o.Drops
+	d.AdmissionSheds += o.AdmissionSheds
+	d.Evictions += o.Evictions
 	d.Expired += o.Expired
 	d.DeadlineMisses += o.DeadlineMisses
+	d.Canceled += o.Canceled
+	d.ByClass.Merge(o.ByClass)
 }
 
 // Any reports whether any degraded-mode event occurred.
@@ -215,7 +267,7 @@ func (d Degraded) String() string {
 	if !d.Any() {
 		return "clean"
 	}
-	parts := make([]string, 0, 9)
+	parts := make([]string, 0, 16)
 	add := func(name string, v int) {
 		if v > 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
@@ -227,9 +279,20 @@ func (d Degraded) String() string {
 	add("kernelRetries", d.KernelRetries)
 	add("batchRetries", d.BatchRetries)
 	add("batchFailures", d.BatchFailures)
+	add("retryDenied", d.RetryDenied)
 	add("drops", d.Drops)
+	add("admissionSheds", d.AdmissionSheds)
+	add("evictions", d.Evictions)
 	add("expired", d.Expired)
 	add("deadlineMisses", d.DeadlineMisses)
+	add("canceled", d.Canceled)
+	for cls := range d.ByClass {
+		c := d.ByClass[cls]
+		if c.Any() {
+			parts = append(parts, fmt.Sprintf("%s[done=%d shed=%d expired=%d miss=%d of %d]",
+				overload.Class(cls), c.Completed, c.Shed, c.Expired, c.DeadlineMisses, c.Submitted))
+		}
+	}
 	return strings.Join(parts, " ")
 }
 

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"olympian/internal/overload"
 )
 
 func TestSummarizeBasics(t *testing.T) {
@@ -194,5 +196,122 @@ func TestDegradedMergeAndString(t *testing.T) {
 	}
 	if strings.Contains(s, "stalls") {
 		t.Fatalf("String() = %q renders zero field", s)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// A single sample is every quantile.
+	one := []float64{7}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := Quantile(one, q); got != 7 {
+			t.Fatalf("quantile %v of single sample = %v, want 7", q, got)
+		}
+	}
+	// Duplicate-heavy samples: interpolation between equal neighbors must
+	// return the duplicated value exactly.
+	dups := []float64{5, 5, 5, 5, 9}
+	if got := Quantile(dups, 0.5); got != 5 {
+		t.Fatalf("median of duplicate-heavy sample = %v, want 5", got)
+	}
+	if got := Quantile(dups, 1); got != 9 {
+		t.Fatalf("max of duplicate-heavy sample = %v, want 9", got)
+	}
+	// Out-of-range q clamps to the extremes.
+	if got := Quantile(dups, -0.5); got != 5 {
+		t.Fatalf("q<0 = %v, want min", got)
+	}
+	if got := Quantile(dups, 1.5); got != 9 {
+		t.Fatalf("q>1 = %v, want max", got)
+	}
+	// Interpolation lands between distinct neighbors.
+	if got := Quantile([]float64{0, 10}, 0.25); got != 2.5 {
+		t.Fatalf("q0.25 of {0,10} = %v, want 2.5", got)
+	}
+}
+
+func TestPercentilesOfEdgeCases(t *testing.T) {
+	if got := PercentilesOf(nil); got != (Percentiles{}) {
+		t.Fatalf("empty sample = %+v, want zero value", got)
+	}
+	if got := PercentilesOf([]float64{3}); got.N != 1 || got.P50 != 3 || got.P95 != 3 || got.P99 != 3 {
+		t.Fatalf("single sample = %+v, want all quantiles 3", got)
+	}
+	got := PercentilesOf([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100})
+	if got.N != 10 || got.P50 != 1 {
+		t.Fatalf("duplicate-heavy sample = %+v, want p50 = 1", got)
+	}
+	if got.P95 < got.P50 || got.P99 < got.P95 {
+		t.Fatalf("percentiles not monotone: %+v", got)
+	}
+	// PercentilesOf must not mutate its input.
+	xs := []float64{3, 1, 2}
+	PercentilesOf(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestClassCountsMergeAndAny(t *testing.T) {
+	var c ClassCounts
+	if c.Any() {
+		t.Fatal("zero ClassCounts reports Any")
+	}
+	c.Merge(ClassCounts{Submitted: 4, Completed: 2, Shed: 1})
+	c.Merge(ClassCounts{Submitted: 1, Expired: 1, DeadlineMisses: 3})
+	want := ClassCounts{Submitted: 5, Completed: 2, Shed: 1, Expired: 1, DeadlineMisses: 3}
+	if c != want {
+		t.Fatalf("merged %+v, want %+v", c, want)
+	}
+	if !c.Any() {
+		t.Fatal("non-zero ClassCounts reports empty")
+	}
+}
+
+func TestByClassMergeAndDegradedComparability(t *testing.T) {
+	a := Degraded{ByClass: ByClass{
+		overload.Batch:       {Submitted: 3, Shed: 2},
+		overload.Interactive: {Submitted: 1, Completed: 1},
+	}}
+	b := Degraded{ByClass: ByClass{
+		overload.Batch:       {Submitted: 1, Completed: 1},
+		overload.Interactive: {Submitted: 2, DeadlineMisses: 1},
+	}}
+	a.Merge(b)
+	if got := a.ByClass[overload.Batch]; got != (ClassCounts{Submitted: 4, Completed: 1, Shed: 2}) {
+		t.Fatalf("batch class merged to %+v", got)
+	}
+	if got := a.ByClass[overload.Interactive]; got != (ClassCounts{Submitted: 3, Completed: 1, DeadlineMisses: 1}) {
+		t.Fatalf("interactive class merged to %+v", got)
+	}
+	// Degraded must stay comparable with ==: determinism probes depend on it.
+	c := a
+	if c != a {
+		t.Fatal("Degraded copies with identical ByClass compare unequal")
+	}
+	c.ByClass[overload.Batch].Shed++
+	if c == a {
+		t.Fatal("Degraded copies with different ByClass compare equal")
+	}
+}
+
+func TestDegradedStringRendersClassesAndNewCounters(t *testing.T) {
+	d := Degraded{
+		RetryDenied:    2,
+		AdmissionSheds: 5,
+		Evictions:      1,
+		Canceled:       3,
+	}
+	d.ByClass[overload.Interactive] = ClassCounts{Submitted: 10, Completed: 8, Shed: 1, DeadlineMisses: 1}
+	s := d.String()
+	for _, frag := range []string{
+		"retryDenied=2", "admissionSheds=5", "evictions=1", "canceled=3",
+		"interactive[done=8 shed=1 expired=0 miss=1 of 10]",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+	if strings.Contains(s, "batch[") {
+		t.Fatalf("String() = %q renders the traffic-free batch class", s)
 	}
 }

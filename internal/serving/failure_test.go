@@ -17,7 +17,7 @@ func TestBuildFailureFailsBatchNotServer(t *testing.T) {
 	// A graph-build failure must complete the affected requests with an
 	// error and leave the server serving other models, not panic.
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 4, BatchTimeout: time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 4, BatchTimeout: time.Millisecond})
 	srv.build = func(modelName string, batch int) (*graph.Graph, error) {
 		if modelName == model.ResNet152 {
 			return nil, fmt.Errorf("zoo: no %s at batch %d", modelName, batch)
@@ -49,7 +49,7 @@ func TestBuildFailureFailsBatchNotServer(t *testing.T) {
 
 func TestBoundedQueueShedsAtAdmission(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 32, BatchTimeout: 5 * time.Millisecond, MaxQueue: 4})
+	srv := newTestServer(t, env, Config{MaxBatch: 32, BatchTimeout: 5 * time.Millisecond, MaxQueue: 4})
 	submitN(t, env, srv, model.Inception, 10, 10*time.Microsecond)
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestDeadlineExpiryDropsQueuedRequests(t *testing.T) {
 	// The batch timeout exceeds the deadline, so every request expires in
 	// the queue and must be dropped, never dispatched.
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 64, BatchTimeout: 5 * time.Millisecond, Deadline: time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 64, BatchTimeout: 5 * time.Millisecond, Deadline: time.Millisecond})
 	submitN(t, env, srv, model.Inception, 3, 0)
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -105,7 +105,7 @@ func TestDeadlineMissCountsLateCompletions(t *testing.T) {
 	// Requests dispatch promptly but the model takes longer than the SLO:
 	// they complete, yet each counts as a deadline miss.
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 4, BatchTimeout: 100 * time.Microsecond, Deadline: time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 4, BatchTimeout: 100 * time.Microsecond, Deadline: time.Millisecond})
 	submitN(t, env, srv, model.ResNet152, 4, 0)
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestBatchRetryExhaustionFailsRequests(t *testing.T) {
 	// requests instead of retrying forever.
 	env := sim.NewEnv(1)
 	inj := faults.New(3, faults.Plan{KernelFailRate: 1})
-	srv := NewServer(env, Config{
+	srv := newTestServer(t, env, Config{
 		MaxBatch: 4, BatchTimeout: time.Millisecond,
 		MaxRetries: 1, RetryBackoff: 100 * time.Microsecond,
 		Faults: inj,
@@ -157,7 +157,7 @@ func TestServingUnderFaultsIsDeterministic(t *testing.T) {
 	run := func() Stats {
 		env := sim.NewEnv(7)
 		inj := faults.New(7, faults.Plan{KernelFailRate: 0.02, AbortRate: 0.001})
-		srv := NewServer(env, Config{
+		srv := newTestServer(t, env, Config{
 			MaxBatch: 4, BatchTimeout: time.Millisecond,
 			Seed: 7, Faults: inj,
 		})
@@ -191,7 +191,7 @@ func TestTimeoutFlushRacesFullBatch(t *testing.T) {
 	// The batch fills at the same instant the flush timeout fires. Every
 	// request must be served exactly once, whichever side wins.
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 4, BatchTimeout: time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 4, BatchTimeout: time.Millisecond})
 	submitN(t, env, srv, model.Inception, 3, 0)
 	env.Go("late", func(p *sim.Proc) {
 		p.Sleep(time.Millisecond)
@@ -219,7 +219,7 @@ func TestBatcherReuseAfterIdle(t *testing.T) {
 	// The daemon batcher must go back to sleep on an empty queue and wake
 	// again for a second wave long after the first drained.
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 2, BatchTimeout: time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 2, BatchTimeout: time.Millisecond})
 	submitN(t, env, srv, model.Inception, 2, 0)
 	for i := 0; i < 2; i++ {
 		env.Go("second-wave", func(p *sim.Proc) {
@@ -246,7 +246,7 @@ func TestMaxBatchOverflowSplits(t *testing.T) {
 	// A burst larger than 2*MaxBatch must split into full batches plus a
 	// remainder, with no request left behind.
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 8, BatchTimeout: 2 * time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 8, BatchTimeout: 2 * time.Millisecond})
 	submitN(t, env, srv, model.Inception, 19, 0)
 	if err := env.Run(); err != nil {
 		t.Fatal(err)

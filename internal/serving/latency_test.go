@@ -22,7 +22,7 @@ func TestLatencyZeroWhileInFlight(t *testing.T) {
 
 func TestShedAndExpiredReportZeroDelays(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{
+	srv := newTestServer(t, env, Config{
 		MaxBatch: 4, BatchTimeout: time.Millisecond,
 		MaxQueue: 2, Deadline: 500 * time.Microsecond,
 	})
@@ -52,7 +52,7 @@ func TestShedAndExpiredReportZeroDelays(t *testing.T) {
 
 func TestStatsPerModelPercentiles(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 8, BatchTimeout: time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 8, BatchTimeout: time.Millisecond})
 	submitN(t, env, srv, model.ResNet50, 8, 100*time.Microsecond)
 	submitN(t, env, srv, model.Inception, 8, 100*time.Microsecond)
 	if err := env.Run(); err != nil {
@@ -78,7 +78,7 @@ func TestStatsPerModelPercentiles(t *testing.T) {
 
 func TestDrainQueuedFailsOnlyQueuedRequests(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 4, BatchTimeout: time.Hour})
+	srv := newTestServer(t, env, Config{MaxBatch: 4, BatchTimeout: time.Hour})
 	// Three requests sit in the batcher (batch of 4 never fills, timeout
 	// never fires); a later drain must fail exactly those three.
 	submitN(t, env, srv, model.Inception, 3, 0)

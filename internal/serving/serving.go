@@ -22,6 +22,7 @@ import (
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/overload"
 	"olympian/internal/profiler"
 	"olympian/internal/sim"
 )
@@ -38,6 +39,13 @@ var (
 	// the device is being taken out of rotation (failover) and the caller
 	// should resubmit the request elsewhere.
 	ErrDrained = errors.New("serving: queue drained for failover")
+	// ErrShed marks a request rejected by the AIMD adaptive admission
+	// limiter, or a queued low-priority request displaced by a
+	// high-priority arrival under pressure.
+	ErrShed = errors.New("serving: shed by adaptive admission")
+	// ErrCanceled marks a request cancelled by the caller — typically a
+	// hedged duplicate that lost the race to its sibling.
+	ErrCanceled = errors.New("serving: request canceled")
 )
 
 // Request is one inference request for a single input.
@@ -46,6 +54,9 @@ type Request struct {
 	ID int
 	// Model is the target model name.
 	Model string
+	// Class is the request's priority class; under pressure lower classes
+	// are shed first (Submit defaults to overload.Interactive).
+	Class overload.Class
 	// ArriveAt is when the request entered the server.
 	ArriveAt sim.Time
 	// Deadline is the absolute completion deadline (0 = none).
@@ -61,6 +72,15 @@ type Request struct {
 	Err error
 
 	done *sim.Event
+	// admitted marks a request counted against its model's admission
+	// limiter; cleared when the slot is released.
+	admitted bool
+	// batch points at the in-flight batch carrying the request, so Cancel
+	// can reach the running job after dispatch.
+	batch *batchRun
+	// canceled marks a dispatched request whose completion must be ignored
+	// (its waiter already got ErrCanceled).
+	canceled bool
 }
 
 // Failed reports whether the request ended in an error.
@@ -126,12 +146,56 @@ type Config struct {
 	// Faults, when set, injects deterministic failures into the device
 	// and executor.
 	Faults *faults.Injector
+	// Admission, when non-nil, enables the per-model AIMD adaptive
+	// admission limiter: the concurrency limit grows on deadline-met
+	// completions and shrinks multiplicatively on shed/expiry signals,
+	// with strict-priority shedding under pressure. Nil keeps the static
+	// MaxQueue-only behavior.
+	Admission *overload.AIMDConfig
+}
+
+// Validate rejects configurations that are explicit nonsense rather than
+// zero-values asking for defaults.
+func (c Config) Validate() error {
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("serving: negative MaxQueue %d (use 0 for unbounded)", c.MaxQueue)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("serving: negative RetryBackoff %v", c.RetryBackoff)
+	}
+	if c.BatchTimeout < 0 {
+		return fmt.Errorf("serving: negative BatchTimeout %v", c.BatchTimeout)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("serving: negative Deadline %v", c.Deadline)
+	}
+	if c.Admission != nil {
+		if err := c.Admission.Validate(); err != nil {
+			return fmt.Errorf("serving: %w", err)
+		}
+	}
+	return nil
 }
 
 // ModelLatency is one model's completed-request latency percentiles.
 type ModelLatency struct {
 	Model   string
 	Latency metrics.Percentiles
+}
+
+// ModelAdmission is one model's adaptive-admission limiter state at report
+// time.
+type ModelAdmission struct {
+	// Model is the model name.
+	Model string
+	// Limit is the AIMD concurrency limit at report time.
+	Limit float64
+	// Admitted counts requests the limiter let in.
+	Admitted int
+	// Sheds counts congestion signals (sheds, expiries, deadline misses).
+	Sheds int
+	// Decreases counts multiplicative decreases that actually fired.
+	Decreases int
 }
 
 // Stats summarises a server's activity.
@@ -146,6 +210,9 @@ type Stats struct {
 	// PerModel breaks the latency quantiles down by model, sorted by model
 	// name so reports and determinism checks see a stable order.
 	PerModel []ModelLatency
+	// Admission reports each model's AIMD limiter state, sorted by model
+	// name; empty when adaptive admission is off.
+	Admission []ModelAdmission
 	// Utilization of the device over the run.
 	Utilization float64
 	// Degraded tallies faults, retries, and shed load.
@@ -165,6 +232,7 @@ type Server struct {
 	flushers map[string]*sim.Cond
 	graphs   map[graphKey]*graph.Graph
 	profiles map[graphKey]*profiler.Result
+	limiters map[string]*overload.Limiter
 
 	requests []*Request
 	batches  int
@@ -183,8 +251,13 @@ type graphKey struct {
 	batch int
 }
 
-// NewServer builds a server inside env.
-func NewServer(env *sim.Env, cfg Config) *Server {
+// NewServer builds a server inside env. Explicitly invalid configurations
+// (negative queue caps, timeouts, or deadlines) are rejected rather than
+// silently replaced by defaults.
+func NewServer(env *sim.Env, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Spec.Name == "" {
 		cfg.Spec = gpu.GTX1080Ti
 	}
@@ -223,6 +296,7 @@ func NewServer(env *sim.Env, cfg Config) *Server {
 		flushers:  make(map[string]*sim.Cond),
 		graphs:    make(map[graphKey]*graph.Graph),
 		profiles:  make(map[graphKey]*profiler.Result),
+		limiters:  make(map[string]*overload.Limiter),
 		retryLeft: cfg.RetryBudget,
 		build:     model.Build,
 	}
@@ -235,21 +309,39 @@ func NewServer(env *sim.Env, cfg Config) *Server {
 		hooks = s.sched
 	}
 	s.eng = executor.New(env, dev, executor.Config{Jitter: cfg.Jitter, Faults: cfg.Faults}, hooks)
-	return s
+	return s, nil
 }
 
 // Device exposes the server's GPU for measurement.
 func (s *Server) Device() *gpu.Device { return s.dev }
 
-// Submit enqueues a request from process context and returns it; wait on
-// completion with req.Wait(p).
+// Submit enqueues a request from process context at the default
+// (interactive) priority class and returns it; wait on completion with
+// req.Wait(p).
 func (s *Server) Submit(p *sim.Proc, modelName string) (*Request, error) {
+	return s.SubmitClass(p, modelName, overload.Interactive)
+}
+
+// batchAdmitFrac is the fraction of the AIMD limit visible to classes below
+// Interactive; the remainder is reserved headroom for interactive arrivals.
+const batchAdmitFrac = 0.8
+
+// SubmitClass enqueues a request with an explicit priority class. Under
+// pressure — the AIMD limiter or the bounded queue at capacity — lower
+// classes are shed first: a low-class arrival is rejected outright, while a
+// high-class arrival displaces the newest queued request of a strictly
+// lower class.
+func (s *Server) SubmitClass(p *sim.Proc, modelName string, class overload.Class) (*Request, error) {
+	if !class.Valid() {
+		return nil, fmt.Errorf("serving: invalid priority class %d", class)
+	}
 	if _, err := model.TargetRuntime(modelName, 1); err != nil {
 		return nil, err
 	}
 	req := &Request{
 		ID:       len(s.requests),
 		Model:    modelName,
+		Class:    class,
 		ArriveAt: p.Now(),
 		done:     s.env.NewEvent(),
 	}
@@ -257,21 +349,100 @@ func (s *Server) Submit(p *sim.Proc, modelName string) (*Request, error) {
 		req.Deadline = req.ArriveAt.Add(s.cfg.Deadline)
 	}
 	s.requests = append(s.requests, req)
+	s.degraded.ByClass[class].Submitted++
 	if _, ok := s.flushers[modelName]; !ok {
 		s.startBatcher(modelName)
 	}
-	if s.cfg.MaxQueue > 0 && len(s.queues[modelName]) >= s.cfg.MaxQueue {
-		// Bounded queue full: shed at admission rather than let the
-		// backlog blow every deadline downstream.
-		s.degraded.Drops++
-		s.fail(req, ErrQueueFull)
+	lim := s.limiter(modelName)
+	frac := 1.0
+	if class < overload.Interactive {
+		// Lower classes only see a fraction of the learned limit: the top
+		// slice is reserved for interactive work, so under pressure batch
+		// arrivals shed before any interactive request does.
+		frac = batchAdmitFrac
+	}
+	if lim != nil && !lim.HasCapacityFrac(frac) && !s.evictLower(modelName, class) {
+		// Adaptive admission: the model is over its learned concurrency
+		// limit and no lower-priority queued work can make room. The
+		// limiter's own sheds are flow control working, not a congestion
+		// signal — only SLO failures (overflow, expiry, misses) cut the
+		// limit.
+		s.degraded.AdmissionSheds++
+		lim.NoteShed()
+		s.shed(req, ErrShed)
 		return req, nil
+	}
+	if s.cfg.MaxQueue > 0 && len(s.queues[modelName]) >= s.cfg.MaxQueue && !s.evictLower(modelName, class) {
+		// Bounded queue full: shed at admission rather than let the
+		// backlog blow every deadline downstream. Overflow means the
+		// learned limit overshot actual capacity, so it is a decrease
+		// signal.
+		s.degraded.Drops++
+		if lim != nil {
+			lim.OnCongestion(time.Duration(s.env.Now()))
+		}
+		s.shed(req, ErrQueueFull)
+		return req, nil
+	}
+	if lim != nil {
+		lim.Acquire()
+		req.admitted = true
 	}
 	s.queues[modelName] = append(s.queues[modelName], req)
 	// Wake the batcher: it naps on an empty queue and flushes immediately
 	// once the batch is full.
 	s.flushers[modelName].Broadcast()
 	return req, nil
+}
+
+// limiter returns the model's AIMD admission limiter, creating it on first
+// use; nil when adaptive admission is off.
+func (s *Server) limiter(modelName string) *overload.Limiter {
+	if s.cfg.Admission == nil {
+		return nil
+	}
+	lim, ok := s.limiters[modelName]
+	if !ok {
+		lim = overload.NewLimiter(*s.cfg.Admission)
+		s.limiters[modelName] = lim
+	}
+	return lim
+}
+
+// shed rejects a request at admission: the failure is stamped and the class
+// tally updated. Callers decide whether the event is also a congestion
+// signal for the model's limiter.
+func (s *Server) shed(r *Request, err error) {
+	s.degraded.ByClass[r.Class].Shed++
+	s.fail(r, err)
+}
+
+// evictLower displaces the newest queued request of a class strictly below
+// class, failing it with ErrShed, and reports whether room was made.
+// Strict-priority shedding: interactive arrivals never queue behind batch
+// work that will be dropped anyway.
+func (s *Server) evictLower(modelName string, class overload.Class) bool {
+	q := s.queues[modelName]
+	victim := -1
+	for i, r := range q {
+		if r.Class >= class {
+			continue
+		}
+		if victim < 0 || r.Class <= q[victim].Class {
+			victim = i // newest among the lowest class present
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	v := q[victim]
+	s.queues[modelName] = append(q[:victim], q[victim+1:]...)
+	s.degraded.Evictions++
+	if lim := s.limiters[modelName]; lim != nil {
+		lim.NoteShed()
+	}
+	s.shed(v, ErrShed)
+	return true
 }
 
 // Wait blocks p until the request's batch has completed.
@@ -310,7 +481,53 @@ func (s *Server) startBatcher(modelName string) {
 func (s *Server) fail(r *Request, err error) {
 	r.Err = err
 	r.FinishAt = s.env.Now()
+	s.releaseSlot(r)
 	r.done.Trigger()
+}
+
+// releaseSlot retires the request's admission-limiter slot, exactly once.
+func (s *Server) releaseSlot(r *Request) {
+	if !r.admitted {
+		return
+	}
+	r.admitted = false
+	if lim := s.limiters[r.Model]; lim != nil {
+		lim.Release()
+	}
+}
+
+// Cancel aborts a request that has not finished yet, completing it with
+// ErrCanceled; it reports whether the cancel landed. A queued request is
+// removed from its batcher queue; a dispatched request is detached from its
+// batch, and when every rider of an in-flight batch has been cancelled the
+// batch's job is aborted through the executor's gang-abort path (the same
+// unwind injected job kills use), so the device and scheduler token are
+// reclaimed. The cluster router uses this to cancel hedge losers.
+func (s *Server) Cancel(p *sim.Proc, r *Request) bool {
+	if r.FinishAt != 0 || r.Err != nil {
+		return false
+	}
+	q := s.queues[r.Model]
+	for i, qr := range q {
+		if qr == r {
+			s.queues[r.Model] = append(q[:i], q[i+1:]...)
+			s.degraded.Canceled++
+			s.fail(r, ErrCanceled)
+			return true
+		}
+	}
+	if b := r.batch; b != nil {
+		r.canceled = true
+		s.degraded.Canceled++
+		s.fail(r, ErrCanceled)
+		b.live--
+		if b.live == 0 && b.job != nil && !b.job.Aborted() {
+			// Last rider gone: nobody is waiting on this batch anymore.
+			s.eng.AbortJob(p, b.job, ErrCanceled)
+		}
+		return true
+	}
+	return false
 }
 
 // DrainQueued fails every request still waiting in a batcher queue with
@@ -348,7 +565,11 @@ func (s *Server) dropExpired(modelName string) {
 	for _, r := range q {
 		if r.Deadline > 0 && now > r.Deadline {
 			s.degraded.Expired++
+			s.degraded.ByClass[r.Class].Expired++
 			s.fail(r, ErrExpired)
+			if lim := s.limiters[modelName]; lim != nil {
+				lim.OnCongestion(time.Duration(now))
+			}
 			continue
 		}
 		kept = append(kept, r)
@@ -392,33 +613,76 @@ func (s *Server) flush(modelName string) {
 	})
 }
 
-// runBatch executes one batch job, retrying failed attempts with
+// batchRun tracks one dispatched batch so hedge-style cancellation can
+// reach the running job: live counts riders still waiting on the batch, and
+// job is the current (per-attempt) executor job.
+type batchRun struct {
+	job  *executor.Job
+	live int
+}
+
+// runBatch executes one batch job, retrying failed attempts with jittered
 // exponential backoff while the server-wide retry budget lasts.
 func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Request) {
+	br := &batchRun{live: len(batch)}
+	for _, r := range batch {
+		r.batch = br
+	}
 	var jobErr error
 	for attempt := 0; ; attempt++ {
+		if br.live == 0 {
+			// Every rider was cancelled before this attempt launched.
+			return
+		}
 		job := s.eng.NewJob(clientID, g)
+		br.job = job
 		s.eng.Run(p, job)
 		jobErr = job.Err()
 		if jobErr == nil {
 			break
 		}
+		if errors.Is(jobErr, ErrCanceled) {
+			// Aborted by Cancel because the last rider left: the riders
+			// were already completed with ErrCanceled, nothing to retry.
+			return
+		}
 		if attempt >= s.cfg.MaxRetries || s.retryLeft <= 0 {
+			if attempt < s.cfg.MaxRetries {
+				s.degraded.RetryDenied++
+			}
 			s.degraded.BatchFailures++
 			for _, r := range batch {
+				if r.canceled {
+					continue
+				}
 				s.fail(r, fmt.Errorf("serving: batch failed after %d attempts: %w", attempt+1, jobErr))
 			}
 			return
 		}
 		s.retryLeft--
 		s.degraded.BatchRetries++
-		p.Sleep(s.cfg.RetryBackoff << attempt)
+		// Jittered exponential backoff (the jitter stream is seeded, so
+		// same-seed runs retry at identical instants; a nil injector
+		// degrades to plain exponential backoff).
+		p.Sleep(overload.Backoff(s.cfg.RetryBackoff, attempt, 0.5, s.cfg.Faults.RetryJitter()))
 	}
 	now := p.Now()
+	lim := s.limiters[batch[0].Model]
 	for _, r := range batch {
+		if r.canceled {
+			continue
+		}
 		r.FinishAt = now
+		s.releaseSlot(r)
+		s.degraded.ByClass[r.Class].Completed++
 		if r.Deadline > 0 && now > r.Deadline {
 			s.degraded.DeadlineMisses++
+			s.degraded.ByClass[r.Class].DeadlineMisses++
+			if lim != nil {
+				lim.OnCongestion(time.Duration(now))
+			}
+		} else if lim != nil {
+			lim.OnSuccess()
 		}
 		r.done.Trigger()
 	}
@@ -483,6 +747,18 @@ func (s *Server) Stats() Stats {
 	for _, name := range names {
 		st.PerModel = append(st.PerModel, ModelLatency{
 			Model: name, Latency: metrics.PercentilesOf(byModel[name]),
+		})
+	}
+	limNames := make([]string, 0, len(s.limiters))
+	for name := range s.limiters {
+		limNames = append(limNames, name)
+	}
+	sort.Strings(limNames)
+	for _, name := range limNames {
+		lim := s.limiters[name]
+		st.Admission = append(st.Admission, ModelAdmission{
+			Model: name, Limit: lim.Limit(), Admitted: lim.Admitted(),
+			Sheds: lim.Sheds(), Decreases: lim.Decreases(),
 		})
 	}
 	if len(lats) > 0 {

@@ -8,6 +8,16 @@ import (
 	"olympian/internal/sim"
 )
 
+// newTestServer builds a server, failing the test on config errors.
+func newTestServer(t *testing.T, env *sim.Env, cfg Config) *Server {
+	t.Helper()
+	srv, err := NewServer(env, cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return srv
+}
+
 // submitN fires n requests for modelName with the given interarrival gap
 // and waits for them all.
 func submitN(t *testing.T, env *sim.Env, srv *Server, modelName string, n int, gap time.Duration) {
@@ -28,7 +38,7 @@ func submitN(t *testing.T, env *sim.Env, srv *Server, modelName string, n int, g
 
 func TestBatcherFlushesOnFullBatch(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 8, BatchTimeout: time.Hour})
+	srv := newTestServer(t, env, Config{MaxBatch: 8, BatchTimeout: time.Hour})
 	submitN(t, env, srv, model.Inception, 16, 0) // all arrive at t=0
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -50,7 +60,7 @@ func TestBatcherFlushesOnFullBatch(t *testing.T) {
 
 func TestBatcherFlushesOnTimeout(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 64, BatchTimeout: 5 * time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 64, BatchTimeout: 5 * time.Millisecond})
 	submitN(t, env, srv, model.Inception, 3, 0)
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -72,7 +82,7 @@ func TestBatcherFlushesOnTimeout(t *testing.T) {
 
 func TestLatencyAccounting(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 4, BatchTimeout: time.Millisecond})
+	srv := newTestServer(t, env, Config{MaxBatch: 4, BatchTimeout: time.Millisecond})
 	submitN(t, env, srv, model.ResNet152, 4, 0)
 	if err := env.Run(); err != nil {
 		t.Fatal(err)
@@ -94,7 +104,7 @@ func TestLatencyAccounting(t *testing.T) {
 
 func TestMultiModelServing(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{MaxBatch: 4, BatchTimeout: 2 * time.Millisecond, UseOlympian: true})
+	srv := newTestServer(t, env, Config{MaxBatch: 4, BatchTimeout: 2 * time.Millisecond, UseOlympian: true})
 	submitN(t, env, srv, model.Inception, 4, time.Millisecond)
 	submitN(t, env, srv, model.ResNet152, 4, time.Millisecond)
 	if err := env.Run(); err != nil {
@@ -115,7 +125,7 @@ func TestMultiModelServing(t *testing.T) {
 
 func TestSubmitUnknownModel(t *testing.T) {
 	env := sim.NewEnv(1)
-	srv := NewServer(env, Config{})
+	srv := newTestServer(t, env, Config{})
 	var submitErr error
 	env.Go("frontend", func(p *sim.Proc) {
 		_, submitErr = srv.Submit(p, "bogus")
@@ -134,7 +144,7 @@ func TestBiggerBatchesImproveThroughput(t *testing.T) {
 	// (smaller per-image cost) at some queueing latency.
 	run := func(maxBatch int) (time.Duration, Stats) {
 		env := sim.NewEnv(1)
-		srv := NewServer(env, Config{MaxBatch: maxBatch, BatchTimeout: 2 * time.Millisecond})
+		srv := newTestServer(t, env, Config{MaxBatch: maxBatch, BatchTimeout: 2 * time.Millisecond})
 		submitN(t, env, srv, model.Inception, 32, 0)
 		if err := env.Run(); err != nil {
 			t.Fatal(err)

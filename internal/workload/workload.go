@@ -17,6 +17,7 @@ import (
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/overload"
 	"olympian/internal/par"
 	"olympian/internal/profiler"
 	"olympian/internal/sim"
@@ -120,13 +121,27 @@ type Config struct {
 	MaxVirtual time.Duration
 	// Faults, when non-nil and enabled, injects deterministic failures
 	// (seeded by Seed) into the device and executor; clients retry failed
-	// batches up to MaxBatchRetries times.
+	// batches up to MaxBatchRetries times, spending a shared retry budget.
 	Faults *faults.Plan
+	// RetryBudget caps retries across ALL clients in the run: each retry
+	// spends a token, each successful batch refunds one. The shared pool
+	// prevents retry storms — under correlated failure the budget drains
+	// and clients fail fast instead of amplifying load. Zero means
+	// DefaultRetryBudget; negative disables retries entirely.
+	RetryBudget int
+	// RetryBackoff is the base for exponential client backoff between
+	// retry attempts, jittered deterministically from the fault injector's
+	// retry stream (zero: overload's 1ms default).
+	RetryBackoff time.Duration
 }
 
 // MaxBatchRetries bounds how often a closed-loop client re-submits a
 // failed batch before giving up on it.
 const MaxBatchRetries = 3
+
+// DefaultRetryBudget is the run-wide retry token pool when Config leaves
+// RetryBudget zero.
+const DefaultRetryBudget = 32
 
 // DefaultQuantum is used when a run does not choose Q via profiling.
 const DefaultQuantum = 1200 * time.Microsecond
@@ -236,6 +251,14 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 	}
 	eng := executor.New(env, dev, engCfg, hooks)
 
+	retryTokens := cfg.RetryBudget
+	if retryTokens == 0 {
+		retryTokens = DefaultRetryBudget
+	} else if retryTokens < 0 {
+		retryTokens = 0
+	}
+	budget := overload.NewRetryBudget(float64(retryTokens), 1)
+
 	res := &Result{Kind: cfg.Kind, Finishes: &metrics.FinishSet{Label: cfg.Kind.String()}}
 	if cfg.Kind != Vanilla {
 		res.Quantum = cfg.Quantum
@@ -283,13 +306,20 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 					}
 					eng.Run(p, job)
 					if job.Err() == nil {
+						budget.OnSuccess()
 						break
 					}
 					if attempt >= MaxBatchRetries {
 						res.Degraded.BatchFailures++
 						break
 					}
+					if !budget.Allow() {
+						res.Degraded.RetryDenied++
+						res.Degraded.BatchFailures++
+						break
+					}
 					res.Degraded.BatchRetries++
+					p.Sleep(overload.Backoff(cfg.RetryBackoff, attempt, 0.5, inj.RetryJitter()))
 				}
 			}
 			finish := time.Duration(p.Now())

@@ -236,3 +236,76 @@ func TestRunCleanHasNoDegradedEvents(t *testing.T) {
 		t.Fatalf("fault-free run reports degraded events: %v", res.Degraded)
 	}
 }
+
+func TestRetryBudgetExhaustionDeniesRetries(t *testing.T) {
+	// An abort rate high enough that most batches die, against a budget of a
+	// single retry token: after the token is spent, further failures must be
+	// denied instead of retried.
+	clients := []ClientSpec{
+		{Model: model.Inception, Batch: 10, Batches: 4},
+		{Model: model.Inception, Batch: 10, Batches: 4},
+	}
+	res, err := Run(Config{
+		Seed:        3,
+		Kind:        Vanilla,
+		Faults:      &faults.Plan{AbortRate: 0.5},
+		RetryBudget: 1,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded.JobAborts == 0 {
+		t.Fatal("abort plan never engaged; test is vacuous")
+	}
+	if res.Degraded.RetryDenied == 0 {
+		t.Fatal("budget of 1 absorbed every failure without denying a retry")
+	}
+	if res.Degraded.BatchRetries > 1+res.Degraded.BatchFailures {
+		t.Fatalf("retries %d overran the budget (failures %d)",
+			res.Degraded.BatchRetries, res.Degraded.BatchFailures)
+	}
+}
+
+func TestNegativeRetryBudgetDisablesRetries(t *testing.T) {
+	clients := []ClientSpec{{Model: model.Inception, Batch: 10, Batches: 4}}
+	res, err := Run(Config{
+		Seed:        3,
+		Kind:        Vanilla,
+		Faults:      &faults.Plan{AbortRate: 0.5},
+		RetryBudget: -1,
+	}, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded.BatchRetries != 0 {
+		t.Fatalf("retries disabled but %d batches retried", res.Degraded.BatchRetries)
+	}
+	if res.Degraded.JobAborts > 0 && res.Degraded.RetryDenied == 0 {
+		t.Fatal("aborted batches were not recorded as retry-denied")
+	}
+}
+
+func TestRetryBackoffIsDeterministic(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{
+			Seed:         9,
+			Kind:         Vanilla,
+			Faults:       &faults.Plan{AbortRate: 0.3},
+			RetryBackoff: 2 * time.Millisecond,
+		}, []ClientSpec{
+			{Model: model.Inception, Batch: 10, Batches: 5},
+			{Model: model.Inception, Batch: 10, Batches: 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Degraded != b.Degraded {
+		t.Fatalf("same-seed degraded tallies diverged:\n%+v\n%+v", a.Degraded, b.Degraded)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("same-seed elapsed diverged: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
