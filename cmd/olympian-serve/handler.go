@@ -9,19 +9,60 @@ import (
 
 	"olympian"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 )
 
-// newHandler builds the HTTP API.
+// api holds the server's metrics registry; handlers that count domain events
+// (simulations, experiment runs) hang off it.
+type api struct {
+	metrics  *obs.Registry
+	simC     *obs.Series
+	simErrC  *obs.Series
+	expC     *obs.Series
+	expErrC  *obs.Series
+	profileC *obs.Series
+}
+
+// newHandler builds the HTTP API. Every endpoint counts its requests into
+// olympian_http_requests_total{endpoint=...}; GET /metrics exposes the
+// registry in Prometheus text format.
 func newHandler() http.Handler {
+	a := &api{metrics: obs.NewRegistry()}
+	a.simC = a.metrics.Counter("olympian_simulations_total",
+		"Simulations run via POST /simulate or /trace.")
+	a.simErrC = a.metrics.Counter("olympian_simulation_errors_total",
+		"Simulation requests rejected or failed.")
+	a.expC = a.metrics.Counter("olympian_experiment_runs_total",
+		"Paper-reproduction experiments run via POST /experiments/{id}.")
+	a.expErrC = a.metrics.Counter("olympian_experiment_errors_total",
+		"Experiment requests rejected or failed.")
+	a.profileC = a.metrics.Counter("olympian_profiles_total",
+		"Offline profiles computed via POST /profile.")
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /models", handleModels)
-	mux.HandleFunc("POST /profile", handleProfile)
-	mux.HandleFunc("POST /simulate", handleSimulate)
-	mux.HandleFunc("GET /experiments", handleExperimentList)
-	mux.HandleFunc("POST /experiments/", handleExperimentRun)
-	mux.HandleFunc("POST /plan", handlePlan)
-	mux.HandleFunc("POST /trace", handleTrace)
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		c := a.metrics.Counter("olympian_http_requests_total",
+			"HTTP requests served, by endpoint.", "endpoint", endpoint)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			c.Inc()
+			h(w, r)
+		})
+	}
+	handle("GET /models", "models", handleModels)
+	handle("POST /profile", "profile", a.handleProfile)
+	handle("POST /simulate", "simulate", a.handleSimulate)
+	handle("GET /experiments", "experiments", handleExperimentList)
+	handle("POST /experiments/", "experiment_run", a.handleExperimentRun)
+	handle("POST /plan", "plan", handlePlan)
+	handle("POST /trace", "trace", a.handleTrace)
+	handle("GET /metrics", "metrics", a.handleMetrics)
 	return mux
+}
+
+// handleMetrics renders the registry in Prometheus text exposition format.
+func (a *api) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.metrics.WritePrometheus(w)
 }
 
 // maxRequestBody caps POST bodies: every request is a small JSON document,
@@ -74,7 +115,7 @@ type profileRequest struct {
 	GPU   string `json:"gpu"`
 }
 
-func handleProfile(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleProfile(w http.ResponseWriter, r *http.Request) {
 	var req profileRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -92,6 +133,7 @@ func handleProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	a.profileC.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model":          prof.Model,
 		"batch":          prof.Batch,
@@ -177,22 +219,26 @@ func buildSimulation(req simulateRequest) (olympian.Config, []olympian.Client, e
 	return cfg, clients, nil
 }
 
-func handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
+		a.simErrC.Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	cfg, clients, err := buildSimulation(req)
 	if err != nil {
+		a.simErrC.Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	res, err := olympian.Simulate(cfg, clients)
 	if err != nil {
+		a.simErrC.Inc()
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	a.simC.Inc()
 	finishes := make([]float64, 0, len(clients))
 	for _, d := range res.FinishTimes() {
 		finishes = append(finishes, d.Seconds())
@@ -246,9 +292,10 @@ func handlePlan(w http.ResponseWriter, r *http.Request) {
 
 // handleTrace runs a simulation and returns its scheduling timeline as a
 // Chrome trace (open with chrome://tracing or ui.perfetto.dev).
-func handleTrace(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleTrace(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
+		a.simErrC.Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -257,14 +304,17 @@ func handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg, clients, err := buildSimulation(req)
 	if err != nil {
+		a.simErrC.Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	res, err := olympian.Simulate(cfg, clients)
 	if err != nil {
+		a.simErrC.Inc()
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	a.simC.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	if err := res.WriteTrace(w, clients); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -283,18 +333,21 @@ func handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, rows)
 }
 
-func handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/experiments/")
 	if id == "" {
+		a.expErrC.Inc()
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing experiment id"))
 		return
 	}
 	quick := r.URL.Query().Get("quick") != ""
 	rep, err := olympian.RunExperiment(id, quick)
 	if err != nil {
+		a.expErrC.Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	a.expC.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":      rep.ID,
 		"title":   rep.Title,

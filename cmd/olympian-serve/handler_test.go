@@ -148,6 +148,41 @@ func TestOversizedBodyRejected(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	h := newHandler()
+	// Drive some traffic so counters move: one good simulate, one bad.
+	do(t, h, "POST", "/simulate", `{"scheduler":"olympian","policy":"fair",
+	  "clients":[{"model":"inception-v4","batch":40,"batches":1,"count":2}]}`)
+	do(t, h, "POST", "/simulate", `{"scheduler":"warp-drive"}`)
+	rec, _ := do(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE olympian_http_requests_total counter",
+		`olympian_http_requests_total{endpoint="simulate"} 2`,
+		"olympian_simulations_total 1",
+		"olympian_simulation_errors_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	// The scrape counts itself before rendering, so the first scrape reads 1
+	// and a second reads 2.
+	if !strings.Contains(body, `olympian_http_requests_total{endpoint="metrics"} 1`) {
+		t.Fatalf("metrics endpoint not self-counting:\n%s", body)
+	}
+	rec, _ = do(t, h, "GET", "/metrics", "")
+	if !strings.Contains(rec.Body.String(), `olympian_http_requests_total{endpoint="metrics"} 2`) {
+		t.Fatalf("metrics scrape counter stuck:\n%s", rec.Body.String())
+	}
+}
+
 func TestChaosExperimentEndpoint(t *testing.T) {
 	h := newHandler()
 	rec, obj := do(t, h, "POST", "/experiments/chaos?quick=1", "")

@@ -10,6 +10,7 @@
 //	POST /simulate                run a client mix under a scheduler
 //	GET  /experiments             list paper reproductions
 //	POST /experiments/{id}        run one reproduction (?quick=1)
+//	GET  /metrics                 Prometheus text-format server metrics
 //
 // Example:
 //

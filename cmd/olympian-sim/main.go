@@ -10,6 +10,7 @@
 //	olympian-sim cluster               # multi-GPU fleet: scaling + failover
 //	olympian-sim overload              # overload control: admission, shedding, hedging
 //	olympian-sim -bench-json           # substrate benchmarks -> BENCH_<stamp>.json
+//	olympian-sim -trace-out t.json overload  # lifecycle trace for ui.perfetto.dev
 //
 // Each experiment prints the same rows the paper's table or figure reports,
 // plus derived notes and machine-readable metrics.
@@ -24,6 +25,8 @@ import (
 	"time"
 
 	"olympian/internal/experiments"
+	"olympian/internal/obs"
+	"olympian/internal/trace"
 )
 
 // writeCSV emits the report's table with an experiment-id column prefix.
@@ -59,6 +62,8 @@ func run(args []string) error {
 		csv      = fs.Bool("csv", false, "emit rows as CSV instead of an aligned table")
 		scenFile = fs.String("scenario", "", "run a custom scenario JSON file instead of a paper experiment")
 		benchOut = fs.Bool("bench-json", false, "run the substrate benchmark suite and write BENCH_<stamp>.json")
+		traceOut = fs.String("trace-out", "", "write a Perfetto/Chrome lifecycle trace of the runs to this file")
+		traceGPU = fs.Bool("trace-gpu", false, "include per-kernel GPU spans in the trace (hundreds of MB for full experiments)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +97,12 @@ func run(args []string) error {
 		return fmt.Errorf("no experiments given; use -list to see ids or -all to run everything")
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *traceOut != "" {
+		opts.Obs = obs.NewRecorder()
+		if !*traceGPU {
+			opts.Obs.MuteLayer(obs.LayerGPU)
+		}
+	}
 	for _, id := range ids {
 		e, err := experiments.Lookup(id)
 		if err != nil {
@@ -111,5 +122,25 @@ func run(args []string) error {
 			fmt.Printf("(completed in %.1fs)\n\n", time.Since(start).Seconds())
 		}
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, opts.Obs); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote trace:", *traceOut)
+	}
 	return nil
+}
+
+// writeTrace renders the recorder's lifecycle trace to path. Open it with
+// ui.perfetto.dev or chrome://tracing.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteLifecycle(f, rec.Trace()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

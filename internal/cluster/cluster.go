@@ -27,6 +27,7 @@ import (
 	"olympian/internal/gpu"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 	"olympian/internal/overload"
 	"olympian/internal/planner"
 	"olympian/internal/profiler"
@@ -75,6 +76,11 @@ type Config struct {
 	// Profiles caches the offline profiles the cost-weighted router and
 	// the placement planner read; a private store is used when nil.
 	Profiles *profiler.Store
+	// Obs, when non-nil, records the cluster-level request lifecycle
+	// (routes, failovers, hedges, loser cancellations) and threads the
+	// recorder into every device's serving stack. Nil keeps the zero-cost
+	// disabled path.
+	Obs *obs.Recorder
 }
 
 // Cluster is a fleet of devices behind one router.
@@ -88,6 +94,13 @@ type Cluster struct {
 	failovers int
 	hedges    int
 	hedgeWins int
+
+	rec        *obs.Recorder
+	routesC    *obs.Series
+	failoversC *obs.Series
+	hedgesC    *obs.Series
+	hedgeWinsC *obs.Series
+	drainsC    *obs.Series
 }
 
 // Request is one cluster-level inference request. It survives failover
@@ -97,6 +110,9 @@ type Cluster struct {
 // own watcher process, so completion order — not submission order —
 // decides the winner, deterministically under the simulation kernel.
 type Request struct {
+	// ID is the request's cluster-level arrival index — the identity its
+	// lifecycle trace events carry.
+	ID int
 	// Model is the target model name.
 	Model string
 	// Class is the request's priority class.
@@ -152,7 +168,13 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 		cfg.Profiles = profiler.NewStore()
 	}
 
-	c := &Cluster{env: env, cfg: cfg}
+	c := &Cluster{env: env, cfg: cfg, rec: cfg.Obs}
+	reg := cfg.Obs.Registry()
+	c.routesC = reg.Counter("olympian_cluster_routes_total", "Routing decisions.")
+	c.failoversC = reg.Counter("olympian_cluster_failovers_total", "Requests re-dispatched after a drain.")
+	c.hedgesC = reg.Counter("olympian_cluster_hedges_total", "Hedged duplicates dispatched.")
+	c.hedgeWinsC = reg.Counter("olympian_cluster_hedge_wins_total", "Races won by the hedge.")
+	c.drainsC = reg.Counter("olympian_cluster_drains_total", "Devices drained on stall.")
 	c.router = newRouter(env, len(cfg.Devices), cfg.Route, c.requestCost)
 	if cfg.Placement != nil {
 		byRef := make(map[string][]int)
@@ -186,6 +208,8 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 			Seed:         cfg.Seed + int64(i)*101,
 			Faults:       inj,
 			Admission:    cfg.Admission,
+			Obs:          cfg.Obs,
+			Device:       i,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: device %d: %w", i, err)
@@ -227,7 +251,9 @@ func (c *Cluster) requestCost(modelName string) (time.Duration, error) {
 // re-dispatch to surviving replicas.
 func (c *Cluster) failover(device int, until sim.Time) {
 	c.router.MarkDown(device, until)
-	c.servers[device].DrainQueued()
+	drained := c.servers[device].DrainQueued()
+	c.drainsC.Inc()
+	c.rec.Instant(obs.LayerCluster, "drain", obs.NoReq, obs.NoClass, device, int64(drained))
 	c.env.Schedule(until.Sub(c.env.Now()), func() {
 		if !c.router.Down(device) {
 			c.router.MarkUp(device)
@@ -265,10 +291,13 @@ func (c *Cluster) SubmitClass(p *sim.Proc, modelName string, class overload.Clas
 		return nil, err
 	}
 	req := &Request{
+		ID:    len(c.requests),
 		Model: modelName, Class: class, Device: dev, ArriveAt: inner.ArriveAt,
 		c: c, done: c.env.NewEvent(),
 	}
 	c.requests = append(c.requests, req)
+	c.routesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "route", req.ID, int(class), obs.NoDevice, int64(dev))
 	req.watch(dev, inner, false)
 	if c.cfg.HedgeDelay > 0 {
 		req.armHedge()
@@ -308,6 +337,8 @@ func (r *Request) attemptDone(p *sim.Proc, dev int, inner *serving.Request, hedg
 		r.settle(p, dev, inner, nil)
 		if hedge {
 			r.c.hedgeWins++
+			r.c.hedgeWinsC.Inc()
+			r.c.rec.Instant(obs.LayerCluster, "hedge_win", r.ID, int(r.Class), obs.NoDevice, int64(dev))
 		}
 	case errors.Is(inner.Err, serving.ErrDrained) && r.Hops < r.c.cfg.MaxFailovers:
 		next, err := r.c.router.Route(r.Model, true)
@@ -319,6 +350,8 @@ func (r *Request) attemptDone(p *sim.Proc, dev int, inner *serving.Request, hedg
 			} else {
 				r.Hops++
 				r.c.failovers++
+				r.c.failoversC.Inc()
+				r.c.rec.Instant(obs.LayerCluster, "failover", r.ID, int(r.Class), obs.NoDevice, int64(next))
 				r.watch(next, re, hedge)
 				return
 			}
@@ -346,7 +379,9 @@ func (r *Request) settle(p *sim.Proc, dev int, winner *serving.Request, err erro
 		r.Device = dev
 	}
 	for _, a := range r.pending {
-		r.c.servers[a.dev].Cancel(p, a.inner)
+		if r.c.servers[a.dev].Cancel(p, a.inner) {
+			r.c.rec.Instant(obs.LayerCluster, "cancel_loser", r.ID, int(r.Class), obs.NoDevice, int64(a.dev))
+		}
 	}
 	r.done.Trigger()
 }
@@ -376,6 +411,8 @@ func (r *Request) armHedge() {
 		}
 		r.Hedged = true
 		r.c.hedges++
+		r.c.hedgesC.Inc()
+		r.c.rec.Instant(obs.LayerCluster, "hedge", r.ID, int(r.Class), obs.NoDevice, int64(dev))
 		r.watch(dev, inner, true)
 	})
 }

@@ -14,11 +14,13 @@ package executor
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"olympian/internal/faults"
 	"olympian/internal/gpu"
 	"olympian/internal/graph"
+	"olympian/internal/obs"
 	"olympian/internal/sim"
 )
 
@@ -135,6 +137,11 @@ type Config struct {
 	// KernelRetries caps resubmissions of a transiently failed kernel
 	// before the whole job is aborted. Zero means DefaultKernelRetries.
 	KernelRetries int
+	// Obs, when non-nil, records job spans, kernel retries, and aborts to
+	// the lifecycle trace. Nil keeps the zero-cost disabled path.
+	Obs *obs.Recorder
+	// Device is the device index used in Obs track layout.
+	Device int
 }
 
 // DefaultKernelRetries is how often a transiently failed kernel is
@@ -161,6 +168,10 @@ type Engine struct {
 	taxOf         map[*graph.Graph]float64
 	kernelRetries int
 
+	jobsC    *obs.Series
+	retriesC *obs.Series
+	abortsC  *obs.Series
+
 	// NodeObserver, if set, is called after every node execution with the
 	// node's wall time (including queueing) and its service time (the
 	// kernel's execution duration for GPU nodes, compute time for CPU
@@ -183,7 +194,7 @@ func New(env *sim.Env, dev *gpu.Device, cfg Config, hooks Hooks) *Engine {
 	if cfg.KernelRetries <= 0 {
 		cfg.KernelRetries = DefaultKernelRetries
 	}
-	return &Engine{
+	e := &Engine{
 		env:   env,
 		dev:   dev,
 		cfg:   cfg,
@@ -191,6 +202,15 @@ func New(env *sim.Env, dev *gpu.Device, cfg Config, hooks Hooks) *Engine {
 		pool:  NewThreadPool(env, cfg.ThreadPoolSize),
 		taxOf: make(map[*graph.Graph]float64),
 	}
+	reg := cfg.Obs.Registry()
+	devLabel := strconv.Itoa(cfg.Device)
+	e.jobsC = reg.Counter("olympian_executor_jobs_total", "Jobs executed.", "device", devLabel)
+	e.retriesC = reg.Counter("olympian_executor_kernel_retries_total", "Transiently failed kernels relaunched.", "device", devLabel)
+	e.abortsC = reg.Counter("olympian_executor_job_aborts_total", "Jobs aborted.", "device", devLabel)
+	if dev != nil {
+		dev.Observe(cfg.Obs, cfg.Device)
+	}
+	return e
 }
 
 // Env returns the engine's simulation environment.
@@ -220,6 +240,8 @@ func (e *Engine) AbortJob(p *sim.Proc, job *Job, err error) {
 	}
 	job.aborted = true
 	job.err = err
+	e.abortsC.Inc()
+	e.cfg.Obs.Instant(obs.LayerExecutor, "job_abort", job.ID, obs.NoClass, e.cfg.Device, int64(job.Client))
 	if c, ok := e.hooks.(JobCanceller); ok {
 		c.Cancel(p, job)
 	}
@@ -242,11 +264,14 @@ func (e *Engine) NewJob(client int, g *graph.Graph) *Job {
 // thread), implementing Algorithm 1's SESSION::RUN.
 func (e *Engine) Run(p *sim.Proc, job *Job) {
 	job.StartAt = p.Now()
+	span := e.cfg.Obs.StartSpan(obs.LayerExecutor, "job", job.ID, obs.NoClass, e.cfg.Device, int64(job.Client))
+	e.jobsC.Inc()
 	e.hooks.Register(p, job)
 	e.process(p, job, job.Graph.Root)
 	job.wg.Wait(p) // join the gang: all async subtrees done
 	e.hooks.Deregister(p, job)
 	job.EndAt = p.Now()
+	e.cfg.Obs.EndSpan(span)
 }
 
 // process is Algorithm 1's PROCESS loop with the Algorithm 2 hook points
@@ -342,6 +367,8 @@ func (e *Engine) submitKernel(p *sim.Proc, job *Job, n *graph.Node, dur time.Dur
 			return false
 		}
 		e.kernelRetries++
+		e.retriesC.Inc()
+		e.cfg.Obs.Instant(obs.LayerExecutor, "kernel_retry", job.ID, obs.NoClass, e.cfg.Device, int64(attempt+1))
 		// Re-yield before relaunching: the retry must not run while the
 		// job is switched out, and an abort may have landed meanwhile.
 		e.hooks.Yield(p, job)

@@ -9,6 +9,7 @@ import (
 	"olympian/internal/faults"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 	"olympian/internal/serving"
 	"olympian/internal/sim"
 	"olympian/internal/workload"
@@ -46,12 +47,19 @@ func Chaos(o Options) (*Report, error) {
 	results, err := o.runAll([]workload.RunSpec{
 		{Config: base, Clients: clients},
 		{Config: faulty, Clients: clients},
-		{Config: faulty, Clients: clients}, // identical seed: determinism probe
 	})
 	if err != nil {
 		return nil, err
 	}
-	clean, chaotic, again := results[0], results[1], results[2]
+	// Identical seed: determinism probe. Runs un-observed so the lifecycle
+	// trace covers the faulty scenario once.
+	probe := o
+	probe.Obs = nil
+	again, err := probe.run(faulty, clients)
+	if err != nil {
+		return nil, err
+	}
+	clean, chaotic := results[0], results[1]
 	r.Headers = []string{"run", "finish spread", "last finish", "degraded"}
 	r.AddRow("clean", fmt.Sprintf("%.3fx", clean.Finishes.Summary().Spread()),
 		metrics.FormatSeconds(clean.Elapsed), clean.Degraded.String())
@@ -83,8 +91,9 @@ func Chaos(o Options) (*Report, error) {
 		BurstDur:       100 * time.Millisecond,
 		BurstFactor:    4,
 	}
-	serve := func() (serving.Stats, time.Duration, int) {
+	serve := func(rec *obs.Recorder) (serving.Stats, time.Duration, int) {
 		env := sim.NewEnv(o.Seed)
+		rec.Bind(env, "run:chaos-serving")
 		inj := faults.New(o.Seed, burstPlan)
 		srv, err := serving.NewServer(env, serving.Config{
 			MaxBatch:     8,
@@ -93,6 +102,7 @@ func Chaos(o Options) (*Report, error) {
 			Deadline:     250 * time.Millisecond,
 			Seed:         o.Seed,
 			Faults:       inj,
+			Obs:          rec,
 		})
 		if err != nil {
 			panic(err)
@@ -124,11 +134,13 @@ func Chaos(o Options) (*Report, error) {
 		env.Shutdown()
 		return srv.Stats(), drained, inj.Counters().Bursts
 	}
-	st, drained, bursts := serve()
+	st, drained, bursts := serve(o.Obs)
 	if st.Requests == 0 {
 		return nil, fmt.Errorf("chaos: serving run produced no requests")
 	}
-	if st2, drained2, _ := serve(); !reflect.DeepEqual(st, st2) || drained != drained2 {
+	// Determinism probe runs un-observed; the recorder never steers the
+	// simulation, so stats must match regardless.
+	if st2, drained2, _ := serve(nil); !reflect.DeepEqual(st, st2) || drained != drained2 {
 		deterministic = false
 	}
 	r.AddRow("serving+bursts",

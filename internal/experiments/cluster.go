@@ -11,6 +11,7 @@ import (
 	"olympian/internal/faults"
 	"olympian/internal/gpu"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 	"olympian/internal/planner"
 	"olympian/internal/profiler"
 	"olympian/internal/sim"
@@ -65,10 +66,12 @@ func clusterPlace(o Options, devices []gpu.Spec, rate float64) (*planner.Placeme
 	return planner.PlanPlacement(loads, caps, planner.Spread)
 }
 
-// run executes one cluster simulation and returns its stats.
-func (r clusterRun) run(o Options) (cluster.Stats, error) {
+// run executes one cluster simulation and returns its stats. A non-nil rec
+// splices the run onto the experiment's lifecycle trace under label.
+func (r clusterRun) run(o Options, rec *obs.Recorder, label string) (cluster.Stats, error) {
 	env := sim.NewEnv(r.seed)
 	defer env.Shutdown()
+	rec.Bind(env, "run:"+label)
 	pl, err := clusterPlace(o, r.devices, r.rate)
 	if err != nil {
 		return cluster.Stats{}, err
@@ -81,7 +84,7 @@ func (r clusterRun) run(o Options) (cluster.Stats, error) {
 		Seed: r.seed, Devices: r.devices, Faults: r.faults,
 		Placement: pl, Route: r.route,
 		Quantum: o.quantum(), MaxBatch: 16, BatchTimeout: bt,
-		Profiles: o.Profiles,
+		Profiles: o.Profiles, Obs: rec,
 	})
 	if err != nil {
 		return cluster.Stats{}, err
@@ -119,9 +122,9 @@ func (r clusterRun) run(o Options) (cluster.Stats, error) {
 func Cluster(o Options) (*Report, error) {
 	o = o.withDefaults()
 	rep := &Report{
-		ID:    "cluster",
-		Title: "Extension: multi-GPU cluster serving",
-		Paper: "Olympian schedules one GPU; this extension fronts N devices with placement, routing, and failover",
+		ID:      "cluster",
+		Title:   "Extension: multi-GPU cluster serving",
+		Paper:   "Olympian schedules one GPU; this extension fronts N devices with placement, routing, and failover",
 		Headers: []string{"devices", "offered req/s", "goodput req/s", "completed", "failed", "failovers", "util spread"},
 	}
 
@@ -144,7 +147,7 @@ func Cluster(o Options) (*Report, error) {
 		st, err := clusterRun{
 			devices: devices, route: cluster.LeastOutstanding,
 			rate: perDevRate * float64(n), horizon: horizon, seed: o.Seed,
-		}.run(o)
+		}.run(o, o.Obs, fmt.Sprintf("cluster-scale-%d", n))
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +193,7 @@ func Cluster(o Options) (*Report, error) {
 		route: cluster.RoundRobin, rate: 2 * perDevRate, horizon: horizon, seed: o.Seed + 5,
 		batchTimeout: 10 * time.Millisecond,
 	}
-	fst, err := fo.run(o)
+	fst, err := fo.run(o, o.Obs, "cluster-failover")
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +206,9 @@ func Cluster(o Options) (*Report, error) {
 	// Determinism: the failover run (the hardest case — stalls, drains,
 	// re-dispatches) must be bit-identical on a second same-seed run,
 	// including the routing decision log.
-	fst2, err := fo.run(o)
+	// The probe runs un-observed: the recorder never steers the simulation,
+	// so stats and decision hash must match an observed run bit for bit.
+	fst2, err := fo.run(o, nil, "")
 	if err != nil {
 		return nil, err
 	}

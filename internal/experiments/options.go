@@ -5,6 +5,7 @@ import (
 
 	"olympian/internal/gpu"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 	"olympian/internal/profiler"
 	"olympian/internal/workload"
 )
@@ -20,6 +21,12 @@ type Options struct {
 	// private store is used when nil. The store is concurrency-safe, so one
 	// instance may back parallel runs and repeated experiments.
 	Profiles *profiler.Store
+	// Obs, when non-nil, records every instrumented run of the experiment
+	// onto one lifecycle trace (olympian-sim's -trace-out). Experiments
+	// keep their determinism probes un-observed so the trace covers each
+	// scenario once. Recording forces observed run batches to execute
+	// serially; results are unchanged.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +122,7 @@ func (o Options) fill(cfg workload.Config, clients []workload.ClientSpec) (workl
 	if cfg.Seed == 0 {
 		cfg.Seed = o.Seed
 	}
+	cfg.Obs = o.Obs
 	return cfg, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"olympian/internal/faults"
 	"olympian/internal/gpu"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 	"olympian/internal/overload"
 	"olympian/internal/serving"
 	"olympian/internal/sim"
@@ -27,9 +28,10 @@ type overloadPoint struct {
 // adaptive admission and priority classes on. Arrivals are open-loop Poisson
 // with a seeded 30/70 interactive/batch class mix; the returned stats are a
 // deterministic function of (seed, mult).
-func overloadServe(o Options, rate float64, horizon time.Duration) (overloadPoint, error) {
+func overloadServe(o Options, rate float64, horizon time.Duration, rec *obs.Recorder, label string) (overloadPoint, error) {
 	env := sim.NewEnv(o.Seed)
 	defer env.Shutdown()
+	rec.Bind(env, "run:"+label)
 	srv, err := serving.NewServer(env, serving.Config{
 		MaxBatch:     8,
 		BatchTimeout: 2 * time.Millisecond,
@@ -37,6 +39,7 @@ func overloadServe(o Options, rate float64, horizon time.Duration) (overloadPoin
 		Deadline:     120 * time.Millisecond,
 		Seed:         o.Seed,
 		Admission:    &overload.AIMDConfig{},
+		Obs:          rec,
 	})
 	if err != nil {
 		return overloadPoint{}, err
@@ -73,9 +76,10 @@ func overloadServe(o Options, rate float64, horizon time.Duration) (overloadPoin
 // overloadHedge drives a two-device fleet where device 0 stalls repeatedly,
 // with hedged requests racing a duplicate on the healthy device after a
 // deterministic delay.
-func overloadHedge(o Options, horizon time.Duration) (cluster.Stats, error) {
+func overloadHedge(o Options, horizon time.Duration, rec *obs.Recorder) (cluster.Stats, error) {
 	env := sim.NewEnv(o.Seed + 11)
 	defer env.Shutdown()
+	rec.Bind(env, "run:overload-hedge")
 	c, err := cluster.New(env, cluster.Config{
 		Seed:    o.Seed + 11,
 		Devices: []gpu.Spec{gpu.GTX1080Ti, gpu.GTX1080Ti},
@@ -88,6 +92,7 @@ func overloadHedge(o Options, horizon time.Duration) (cluster.Stats, error) {
 		BatchTimeout: 5 * time.Millisecond,
 		HedgeDelay:   60 * time.Millisecond,
 		Profiles:     o.Profiles,
+		Obs:          rec,
 	})
 	if err != nil {
 		return cluster.Stats{}, err
@@ -141,7 +146,7 @@ func Overload(o Options) (*Report, error) {
 	mults := []float64{0.5, 1, 2, 4}
 	points := make([]overloadPoint, 0, len(mults))
 	for _, m := range mults {
-		pt, err := overloadServe(o, baseRate*m, horizon)
+		pt, err := overloadServe(o, baseRate*m, horizon, o.Obs, fmt.Sprintf("overload-%gx", m))
 		if err != nil {
 			return nil, err
 		}
@@ -204,8 +209,9 @@ func Overload(o Options) (*Report, error) {
 	rep.SetMetric("evictions_4x", float64(last.stats.Degraded.Evictions))
 
 	// Determinism of the hardest sweep point: a same-seed rerun must
-	// reproduce every counter, including the per-class break-down.
-	again, err := overloadServe(o, baseRate*4, horizon)
+	// reproduce every counter, including the per-class break-down. It runs
+	// un-observed — the recorder never steers the simulation.
+	again, err := overloadServe(o, baseRate*4, horizon, nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +219,7 @@ func Overload(o Options) (*Report, error) {
 
 	// Hedging: a flaky replica's stragglers are raced against a duplicate on
 	// the healthy device; losers are cancelled, so completions never double.
-	hst, err := overloadHedge(o, horizon)
+	hst, err := overloadHedge(o, horizon, o.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +230,7 @@ func Overload(o Options) (*Report, error) {
 	rep.SetMetric("hedge_wins", float64(hst.HedgeWins))
 	rep.SetMetric("hedge_overcount", float64(accounted-hst.Requests))
 
-	hst2, err := overloadHedge(o, horizon)
+	hst2, err := overloadHedge(o, horizon, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -27,9 +27,11 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"olympian/internal/faults"
+	"olympian/internal/obs"
 	"olympian/internal/sim"
 )
 
@@ -95,6 +97,11 @@ type Kernel struct {
 
 	seq      uint64
 	queuedAt sim.Time
+
+	// Lifecycle spans covering the launch/H2D phase and the execution
+	// phase; zero (no-op) when the device has no recorder.
+	launchSpan obs.SpanID
+	execSpan   obs.SpanID
 }
 
 // Stats is a snapshot of device counters.
@@ -155,6 +162,13 @@ type Device struct {
 
 	memUsed int64
 	stats   Stats
+
+	// Observability: nil recorder = disabled fast path.
+	rec      *obs.Recorder
+	obsDev   int
+	kernelsC *obs.Series
+	faultsC  *obs.Series
+	stallsC  *obs.Series
 }
 
 // New returns an idle device with the given spec attached to env.
@@ -178,6 +192,18 @@ func New(env *sim.Env, spec Spec) *Device {
 
 // Spec returns the device's hardware description.
 func (d *Device) Spec() Spec { return d.spec }
+
+// Observe attaches a lifecycle recorder, identifying this device as index
+// device in the recorder's track layout. A nil recorder keeps the disabled
+// fast path. Call before the run starts.
+func (d *Device) Observe(r *obs.Recorder, device int) {
+	d.rec, d.obsDev = r, device
+	reg := r.Registry()
+	dev := strconv.Itoa(device)
+	d.kernelsC = reg.Counter("olympian_gpu_kernels_total", "Kernels dispatched.", "device", dev)
+	d.faultsC = reg.Counter("olympian_gpu_kernel_faults_total", "Kernels completed with an injected transient fault.", "device", dev)
+	d.stallsC = reg.Counter("olympian_gpu_stalls_total", "Injected driver stalls.", "device", dev)
+}
 
 // Submit enqueues a kernel on its stream; the driver dispatches it when
 // capacity allows. It returns the kernel's completion event.
@@ -241,6 +267,8 @@ func (d *Device) armStall() {
 		if until > d.stallUntil {
 			d.stallUntil = until
 		}
+		d.rec.Span(obs.LayerGPU, "stall", obs.NoReq, obs.NoClass, d.obsDev, d.env.Now(), d.stallUntil, 0)
+		d.stallsC.Inc()
 		if d.onStall != nil {
 			d.onStall(d.stallUntil)
 		}
@@ -380,11 +408,15 @@ func (d *Device) begin(k *Kernel) {
 	d.outstanding++
 	d.stats.KernelsRun++
 	d.ownerCount[k.Owner]++
+	d.kernelsC.Inc()
+	k.launchSpan = d.rec.StartSpan(obs.LayerGPU, "h2d", k.Owner, obs.NoClass, d.obsDev, int64(k.Stream))
 	d.env.Schedule(d.spec.LaunchLatency, func() { d.execStart(k) })
 }
 
 func (d *Device) execStart(k *Kernel) {
 	now := d.env.Now()
+	d.rec.EndSpan(k.launchSpan)
+	k.execSpan = d.rec.StartSpan(obs.LayerGPU, "kernel", k.Owner, obs.NoClass, d.obsDev, int64(k.Stream))
 	d.occupancyNs += k.Occupancy * float64(k.Duration) / d.spec.ClockScale
 	d.active++
 	if d.active == 1 {
@@ -415,9 +447,12 @@ func (d *Device) finish(k *Kernel) {
 	if d.outstanding == 0 && d.barrierDur > 0 && d.barrierAt == 0 {
 		d.armBarrier()
 	}
+	d.rec.EndSpan(k.execSpan)
 	if d.inj.KernelFails() {
 		k.Err = faults.ErrKernelFault
 		d.stats.KernelFaults++
+		d.faultsC.Inc()
+		d.rec.Instant(obs.LayerGPU, "kernel_fault", k.Owner, obs.NoClass, d.obsDev, int64(k.Stream))
 	}
 	k.Done.Trigger()
 	d.pump()

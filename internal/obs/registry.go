@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Registry holds named counter and gauge families and renders them in
+// Prometheus text exposition format. It is safe for concurrent use: series
+// values are atomics, family registration takes a mutex. A nil *Registry
+// hands out nil series whose methods are no-ops, so instrumentation can be
+// wired unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+type family struct {
+	name    string
+	help    string
+	counter bool // false = gauge
+	mu      sync.Mutex
+	series  map[string]*Series
+	order   []string
+}
+
+// Series is one (family, label set) time series. Its value is a float64
+// stored as bits in an atomic; Add uses CAS so concurrent increments from
+// the HTTP server do not race.
+type Series struct {
+	labels string // rendered `{k="v",...}` suffix, "" when unlabeled
+	bits   atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (g *Registry) family(name, help string, counter bool) *family {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f := g.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, counter: counter, series: make(map[string]*Series)}
+		g.families[name] = f
+		g.order = append(g.order, name)
+	}
+	return f
+}
+
+// renderLabels builds the `{k="v",...}` suffix. Labels are key/value pairs
+// in the order given; values are escaped per the exposition format.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		v := kv[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (f *family) get(kv []string) *Series {
+	key := renderLabels(kv)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[key]
+	if s == nil {
+		s = &Series{labels: key}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter family and returns the series for
+// the given label key/value pairs. A nil registry returns a nil series.
+func (g *Registry) Counter(name, help string, labels ...string) *Series {
+	if g == nil {
+		return nil
+	}
+	return g.family(name, help, true).get(labels)
+}
+
+// Gauge registers (or finds) a gauge family and returns the series for the
+// given label key/value pairs. A nil registry returns a nil series.
+func (g *Registry) Gauge(name, help string, labels ...string) *Series {
+	if g == nil {
+		return nil
+	}
+	return g.family(name, help, false).get(labels)
+}
+
+// Add increments the series by delta. No-op on a nil series.
+func (s *Series) Add(delta float64) {
+	if s == nil {
+		return
+	}
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc increments the series by one. No-op on a nil series.
+func (s *Series) Inc() { s.Add(1) }
+
+// Set stores v. No-op on a nil series.
+func (s *Series) Set(v float64) {
+	if s == nil {
+		return
+	}
+	s.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value, 0 on a nil series.
+func (s *Series) Value() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+// formatValue renders a sample the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every family in text exposition format. Families
+// appear in name order and series in label order, so output for equal
+// state is byte-identical.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	names := make([]string, len(g.order))
+	copy(names, g.order)
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, g.families[n])
+	}
+	g.mu.Unlock()
+
+	for _, f := range fams {
+		kind := "gauge"
+		if f.counter {
+			kind = "counter"
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := make([]string, len(f.order))
+		copy(keys, f.order)
+		f.mu.Unlock()
+		sort.Strings(keys)
+		for _, k := range keys {
+			f.mu.Lock()
+			s := f.series[k]
+			f.mu.Unlock()
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.Value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every series value keyed by "name{labels}". Experiments
+// use it to fold metrics into reports without parsing text.
+func (g *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	if g == nil {
+		return out
+	}
+	g.mu.Lock()
+	fams := make([]*family, 0, len(g.families))
+	for _, f := range g.families {
+		fams = append(fams, f)
+	}
+	g.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		for k, s := range f.series {
+			out[f.name+k] = s.Value()
+		}
+		f.mu.Unlock()
+	}
+	return out
+}

@@ -124,6 +124,18 @@ func (c AIMDConfig) Validate() error {
 	return nil
 }
 
+// Observer receives overload-control events. Implementations live above
+// this package (the observability layer adapts them onto its trace
+// recorder); keeping the interface here lets the control plane announce
+// events without depending on anything beyond the standard library.
+// Callbacks run synchronously in simulation context and must not block.
+type Observer interface {
+	// LimitChanged fires after a multiplicative decrease with the new limit.
+	LimitChanged(limit float64)
+	// RetryDenied fires when a retry budget refuses a retry.
+	RetryDenied()
+}
+
 // Limiter is a per-model AIMD concurrency limiter. It is simulation state:
 // single-goroutine use only, with time supplied by the caller.
 type Limiter struct {
@@ -136,6 +148,8 @@ type Limiter struct {
 	admitted  int
 	sheds     int
 	decreases int
+
+	obs Observer
 }
 
 // NewLimiter returns a limiter at cfg's initial limit.
@@ -143,6 +157,9 @@ func NewLimiter(cfg AIMDConfig) *Limiter {
 	cfg = cfg.withDefaults()
 	return &Limiter{cfg: cfg, limit: cfg.Initial}
 }
+
+// SetObserver registers o to be notified of limit cuts; nil unregisters.
+func (l *Limiter) SetObserver(o Observer) { l.obs = o }
 
 // Limit returns the current concurrency limit.
 func (l *Limiter) Limit() float64 { return l.limit }
@@ -209,6 +226,9 @@ func (l *Limiter) OnCongestion(now time.Duration) {
 	l.nextDecrease = now + l.cfg.Cooldown
 	l.limit = math.Max(l.limit*l.cfg.Beta, l.cfg.Min)
 	l.decreases++
+	if l.obs != nil {
+		l.obs.LimitChanged(l.limit)
+	}
 }
 
 // RetryBudget is a token pool capping retries relative to successful work:
@@ -220,7 +240,12 @@ type RetryBudget struct {
 	max    float64
 	refund float64
 	denied int
+	obs    Observer
 }
+
+// SetObserver registers o to be notified of denied retries; nil
+// unregisters.
+func (b *RetryBudget) SetObserver(o Observer) { b.obs = o }
 
 // NewRetryBudget returns a full pool of max tokens that refunds
 // refundPerSuccess tokens per successful completion. A zero or negative max
@@ -240,6 +265,9 @@ func NewRetryBudget(max, refundPerSuccess float64) *RetryBudget {
 func (b *RetryBudget) Allow() bool {
 	if b.tokens < 1 {
 		b.denied++
+		if b.obs != nil {
+			b.obs.RetryDenied()
+		}
 		return false
 	}
 	b.tokens--

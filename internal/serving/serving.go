@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"olympian/internal/core"
@@ -22,6 +23,7 @@ import (
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 	"olympian/internal/overload"
 	"olympian/internal/profiler"
 	"olympian/internal/sim"
@@ -72,6 +74,9 @@ type Request struct {
 	Err error
 
 	done *sim.Event
+	// span is the open queue-wait lifecycle span; the zero value means no
+	// recorder or not queued.
+	span obs.SpanID
 	// admitted marks a request counted against its model's admission
 	// limiter; cleared when the slot is released.
 	admitted bool
@@ -152,6 +157,13 @@ type Config struct {
 	// with strict-priority shedding under pressure. Nil keeps the static
 	// MaxQueue-only behavior.
 	Admission *overload.AIMDConfig
+	// Obs, when non-nil, records the request lifecycle (queue wait, batch
+	// assembly, sheds, evictions, retries) through every layer below. Nil
+	// keeps the zero-cost disabled path.
+	Obs *obs.Recorder
+	// Device is this server's device index in the Obs track layout (the
+	// cluster layer numbers its replicas; standalone servers are 0).
+	Device int
 }
 
 // Validate rejects configurations that are explicit nonsense rather than
@@ -241,6 +253,19 @@ type Server struct {
 	retryLeft int
 	degraded  metrics.Degraded
 
+	// Observability: rec is nil on the disabled fast path; the cached
+	// series are nil then too, so every bump below is a no-op.
+	rec         *obs.Recorder
+	obsDev      int
+	reqC        [overload.NumClasses]*obs.Series
+	doneC       [overload.NumClasses]*obs.Series
+	failReasonC map[string]*obs.Series
+	batchesC    *obs.Series
+	retriesC    *obs.Series
+	evictionsC  *obs.Series
+	missesC     *obs.Series
+	limitCutsC  *obs.Series
+
 	// build constructs a model graph; overridable in tests to exercise
 	// the failed-batch path.
 	build func(modelName string, batch int) (*graph.Graph, error)
@@ -300,6 +325,23 @@ func NewServer(env *sim.Env, cfg Config) (*Server, error) {
 		retryLeft: cfg.RetryBudget,
 		build:     model.Build,
 	}
+	s.rec = cfg.Obs
+	s.obsDev = cfg.Device
+	reg := cfg.Obs.Registry()
+	devLabel := strconv.Itoa(cfg.Device)
+	for c := overload.Class(0); c < overload.NumClasses; c++ {
+		s.reqC[c] = reg.Counter("olympian_serving_requests_total", "Requests submitted.", "device", devLabel, "class", c.String())
+		s.doneC[c] = reg.Counter("olympian_serving_completed_total", "Requests completed in time or late.", "device", devLabel, "class", c.String())
+	}
+	s.failReasonC = make(map[string]*obs.Series, len(failReasons))
+	for _, reason := range failReasons {
+		s.failReasonC[reason] = reg.Counter("olympian_serving_failed_total", "Requests failed, by reason.", "device", devLabel, "reason", reason)
+	}
+	s.batchesC = reg.Counter("olympian_serving_batches_total", "Batches dispatched.", "device", devLabel)
+	s.retriesC = reg.Counter("olympian_serving_batch_retries_total", "Failed batch attempts retried.", "device", devLabel)
+	s.evictionsC = reg.Counter("olympian_serving_evictions_total", "Queued low-priority requests displaced.", "device", devLabel)
+	s.missesC = reg.Counter("olympian_serving_deadline_misses_total", "Completions past their deadline.", "device", devLabel)
+	s.limitCutsC = reg.Counter("olympian_overload_limit_cuts_total", "AIMD multiplicative decreases.", "device", devLabel)
 	var hooks executor.Hooks = executor.NopHooks{}
 	if cfg.UseOlympian {
 		s.sched = core.New(env, dev, core.Config{
@@ -308,9 +350,50 @@ func NewServer(env *sim.Env, cfg Config) (*Server, error) {
 		})
 		hooks = s.sched
 	}
-	s.eng = executor.New(env, dev, executor.Config{Jitter: cfg.Jitter, Faults: cfg.Faults}, hooks)
+	s.eng = executor.New(env, dev, executor.Config{
+		Jitter: cfg.Jitter, Faults: cfg.Faults,
+		Obs: cfg.Obs, Device: cfg.Device,
+	}, hooks)
 	return s, nil
 }
+
+// failReasons are the failure labels of olympian_serving_failed_total;
+// failReason maps a request error onto one of them.
+var failReasons = []string{"shed", "queue_full", "expired", "drained", "canceled", "batch_error"}
+
+// failReason classifies a request failure for trace instants and metrics.
+func failReason(err error) string {
+	switch {
+	case errors.Is(err, ErrShed):
+		return "shed"
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrExpired):
+		return "expired"
+	case errors.Is(err, ErrDrained):
+		return "drained"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	default:
+		return "batch_error"
+	}
+}
+
+// limiterObserver adapts a model's AIMD limiter onto the lifecycle
+// recorder: every multiplicative decrease becomes an overload-layer
+// instant plus a gauge update. Only attached when recording is on.
+type limiterObserver struct {
+	s     *Server
+	gauge *obs.Series
+}
+
+func (o *limiterObserver) LimitChanged(limit float64) {
+	o.s.rec.Instant(obs.LayerOverload, "limit_cut", obs.NoReq, obs.NoClass, o.s.obsDev, int64(limit))
+	o.s.limitCutsC.Inc()
+	o.gauge.Set(limit)
+}
+
+func (o *limiterObserver) RetryDenied() {}
 
 // Device exposes the server's GPU for measurement.
 func (s *Server) Device() *gpu.Device { return s.dev }
@@ -388,6 +471,8 @@ func (s *Server) SubmitClass(p *sim.Proc, modelName string, class overload.Class
 		lim.Acquire()
 		req.admitted = true
 	}
+	s.reqC[class].Inc()
+	req.span = s.rec.StartSpan(obs.LayerServing, "queue", req.ID, int(class), s.obsDev, 0)
 	s.queues[modelName] = append(s.queues[modelName], req)
 	// Wake the batcher: it naps on an empty queue and flushes immediately
 	// once the batch is full.
@@ -405,6 +490,13 @@ func (s *Server) limiter(modelName string) *overload.Limiter {
 	if !ok {
 		lim = overload.NewLimiter(*s.cfg.Admission)
 		s.limiters[modelName] = lim
+		if s.rec != nil {
+			lim.SetObserver(&limiterObserver{
+				s: s,
+				gauge: s.rec.Registry().Gauge("olympian_overload_admission_limit",
+					"Current AIMD concurrency limit.", "device", strconv.Itoa(s.obsDev), "model", modelName),
+			})
+		}
 	}
 	return lim
 }
@@ -438,6 +530,8 @@ func (s *Server) evictLower(modelName string, class overload.Class) bool {
 	v := q[victim]
 	s.queues[modelName] = append(q[:victim], q[victim+1:]...)
 	s.degraded.Evictions++
+	s.evictionsC.Inc()
+	s.rec.Instant(obs.LayerServing, "evict", v.ID, int(v.Class), s.obsDev, int64(class))
 	if lim := s.limiters[modelName]; lim != nil {
 		lim.NoteShed()
 	}
@@ -481,6 +575,13 @@ func (s *Server) startBatcher(modelName string) {
 func (s *Server) fail(r *Request, err error) {
 	r.Err = err
 	r.FinishAt = s.env.Now()
+	s.rec.EndSpan(r.span)
+	r.span = 0
+	if s.rec != nil {
+		reason := failReason(err)
+		s.rec.Instant(obs.LayerServing, reason, r.ID, int(r.Class), s.obsDev, 0)
+		s.failReasonC[reason].Inc()
+	}
 	s.releaseSlot(r)
 	r.done.Trigger()
 }
@@ -604,8 +705,13 @@ func (s *Server) flush(modelName string) {
 	for _, r := range batch {
 		r.BatchedAt = now
 		r.BatchSize = size
+		// The queue-wait span ends at dispatch; clear the handle so a later
+		// batch failure does not re-close it.
+		s.rec.EndSpan(r.span)
+		r.span = 0
 	}
 	s.batches++
+	s.batchesC.Inc()
 	s.clients++
 	clientID := s.clients
 	s.env.Go(fmt.Sprintf("batch-%s-%d", modelName, s.batches), func(p *sim.Proc) {
@@ -628,6 +734,10 @@ func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Re
 	for _, r := range batch {
 		r.batch = br
 	}
+	// The batch span covers dispatch through final completion or failure,
+	// riding the class track of the request that opened the batch.
+	span := s.rec.StartSpan(obs.LayerServing, "batch", obs.NoReq, int(batch[0].Class), s.obsDev, int64(len(batch)))
+	defer s.rec.EndSpan(span)
 	var jobErr error
 	for attempt := 0; ; attempt++ {
 		if br.live == 0 {
@@ -661,6 +771,8 @@ func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Re
 		}
 		s.retryLeft--
 		s.degraded.BatchRetries++
+		s.retriesC.Inc()
+		s.rec.Instant(obs.LayerServing, "batch_retry", obs.NoReq, int(batch[0].Class), s.obsDev, int64(attempt+1))
 		// Jittered exponential backoff (the jitter stream is seeded, so
 		// same-seed runs retry at identical instants; a nil injector
 		// degrades to plain exponential backoff).
@@ -675,9 +787,13 @@ func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Re
 		r.FinishAt = now
 		s.releaseSlot(r)
 		s.degraded.ByClass[r.Class].Completed++
+		s.doneC[r.Class].Inc()
+		s.rec.Span(obs.LayerServing, "request", r.ID, int(r.Class), s.obsDev, r.ArriveAt, now, int64(r.BatchSize))
 		if r.Deadline > 0 && now > r.Deadline {
 			s.degraded.DeadlineMisses++
 			s.degraded.ByClass[r.Class].DeadlineMisses++
+			s.missesC.Inc()
+			s.rec.Instant(obs.LayerServing, "deadline_miss", r.ID, int(r.Class), s.obsDev, 0)
 			if lim != nil {
 				lim.OnCongestion(time.Duration(now))
 			}

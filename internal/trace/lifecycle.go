@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"olympian/internal/obs"
+)
+
+// Track layout for lifecycle traces: one Chrome-trace process per device
+// (pid 0 is the cluster layer, pid d+1 is device d), and within each
+// process one track per request class plus fixed tracks for the executor,
+// the GPU, and the client harness.
+const (
+	tidInteractive = 1 // serving/cluster spans for the interactive class
+	tidBatch       = 2 // serving/cluster spans for the batch class
+	tidControl     = 3 // classless control events (limits, drains, routes)
+	tidClients     = 4 // workload harness (client batches, run markers)
+	tidExecutor    = 5 // execution engine (jobs, retries, aborts)
+	tidGPU         = 6 // device occupancy (H2D, kernels, stalls)
+)
+
+// lifecyclePid maps an obs device index to a Chrome-trace process id.
+func lifecyclePid(device int16) int {
+	if device < 0 {
+		return 0
+	}
+	return int(device) + 1
+}
+
+// lifecycleTid maps (layer, class) to a track within the process.
+func lifecycleTid(layer obs.Layer, class int8) int {
+	switch layer {
+	case obs.LayerGPU:
+		return tidGPU
+	case obs.LayerExecutor:
+		return tidExecutor
+	case obs.LayerHarness:
+		return tidClients
+	}
+	// Serving, cluster, and overload events ride the class tracks.
+	switch class {
+	case 1:
+		return tidInteractive
+	case 0:
+		return tidBatch
+	default:
+		return tidControl
+	}
+}
+
+func tidName(tid int) string {
+	switch tid {
+	case tidInteractive:
+		return "interactive"
+	case tidBatch:
+		return "batch"
+	case tidControl:
+		return "control"
+	case tidClients:
+		return "clients"
+	case tidExecutor:
+		return "executor"
+	case tidGPU:
+		return "gpu"
+	default:
+		return fmt.Sprintf("track-%d", tid)
+	}
+}
+
+func pidName(pid int) string {
+	if pid == 0 {
+		return "cluster"
+	}
+	return fmt.Sprintf("device-%d", pid-1)
+}
+
+// lifecycleArgs annotates a lifecycle event. The span id "r<req>.<seq>" is
+// the deterministic identity ISSUE 5 asks for: request ID plus per-request
+// monotonic counter.
+type lifecycleArgs struct {
+	ID    string `json:"id,omitempty"`
+	Req   int64  `json:"req"`
+	Layer string `json:"layer"`
+	Arg   int64  `json:"arg"`
+}
+
+func spanArgs(req int32, seq uint32, layer obs.Layer, arg int64) lifecycleArgs {
+	a := lifecycleArgs{Req: int64(req), Layer: layer.String(), Arg: arg}
+	if req >= 0 {
+		a.ID = fmt.Sprintf("r%d.%d", req, seq)
+	}
+	return a
+}
+
+// WriteLifecycle renders an obs.Trace as a request-lifecycle Chrome/Perfetto
+// trace: one process per device, one track per request class (plus executor,
+// GPU, and client tracks), spans as complete slices and point events as
+// thread-scoped instants. Output is a deterministic function of the trace:
+// metadata is sorted and events keep recorded order, so same-seed runs
+// render byte-identically.
+func WriteLifecycle(w io.Writer, tr *obs.Trace) error {
+	tf := traceFile{
+		// Explicitly empty: a nil slice marshals to JSON null, which
+		// Perfetto rejects.
+		TraceEvents:     []event{},
+		DisplayTimeUnit: "ms",
+		Metadata: map[string]string{
+			"source": "olympian lifecycle trace",
+			"format": "one process per device; class, executor, gpu, and client tracks per process",
+		},
+	}
+
+	// Collect every (pid, tid) pair in use so each track gets a label.
+	type track struct{ pid, tid int }
+	used := map[track]bool{}
+	for _, s := range tr.Spans {
+		used[track{lifecyclePid(s.Device), lifecycleTid(s.Layer, s.Class)}] = true
+	}
+	for _, p := range tr.Instants {
+		used[track{lifecyclePid(p.Device), lifecycleTid(p.Layer, p.Class)}] = true
+	}
+	tracks := make([]track, 0, len(used))
+	for tk := range used {
+		tracks = append(tracks, tk)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	namedPid := map[int]bool{}
+	for _, tk := range tracks {
+		if !namedPid[tk.pid] {
+			namedPid[tk.pid] = true
+			tf.TraceEvents = append(tf.TraceEvents, metaEvent("process_name", tk.pid, 0, pidName(tk.pid)))
+		}
+		tf.TraceEvents = append(tf.TraceEvents, metaEvent("thread_name", tk.pid, tk.tid, tidName(tk.tid)))
+	}
+
+	us := func(t int64) float64 { return float64(t) / float64(time.Microsecond) }
+	for _, s := range tr.Spans {
+		tf.TraceEvents = append(tf.TraceEvents, event{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   us(int64(s.Start)),
+			Dur:  us(int64(s.End - s.Start)),
+			Pid:  lifecyclePid(s.Device),
+			Tid:  lifecycleTid(s.Layer, s.Class),
+			Args: spanArgs(s.Req, s.Seq, s.Layer, s.Arg),
+		})
+	}
+	for _, p := range tr.Instants {
+		tf.TraceEvents = append(tf.TraceEvents, event{
+			Name: p.Name,
+			Ph:   "i",
+			Ts:   us(int64(p.At)),
+			Pid:  lifecyclePid(p.Device),
+			Tid:  lifecycleTid(p.Layer, p.Class),
+			S:    "t",
+			Args: lifecycleArgs{Req: int64(p.Req), Layer: p.Layer.String(), Arg: p.Arg},
+		})
+	}
+	return json.NewEncoder(w).Encode(tf)
+}

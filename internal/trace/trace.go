@@ -13,15 +13,27 @@ import (
 	"olympian/internal/core"
 )
 
-// event is one Chrome trace event ("X" = complete event).
+// event is one Chrome trace event ("X" = complete slice, "i" = instant,
+// "M" = metadata such as process_name/thread_name).
 type event struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`  // microseconds
-	Dur  float64        `json:"dur"` // microseconds
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	Args map[string]any `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args any     `json:"args,omitempty"`
+}
+
+// nameArgs is the payload of a process_name/thread_name metadata event.
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+// metaEvent builds an "M" metadata event labeling a process or thread.
+func metaEvent(kind string, pid, tid int, label string) event {
+	return event{Name: kind, Ph: "M", Pid: pid, Tid: tid, Args: nameArgs{Name: label}}
 }
 
 type traceFile struct {
@@ -35,16 +47,25 @@ type traceFile struct {
 // names); unmapped clients get "client-N".
 func WriteChromeTrace(w io.Writer, records []core.QuantumRecord, clientLabels map[int]string) error {
 	tf := traceFile{
+		// An explicitly empty slice: a nil one marshals to JSON null,
+		// which Perfetto rejects.
+		TraceEvents:     []event{},
 		DisplayTimeUnit: "ms",
 		Metadata: map[string]string{
 			"source": "olympian simulation",
 			"format": "one track per client; one slice per scheduling quantum",
 		},
 	}
+	tf.TraceEvents = append(tf.TraceEvents, metaEvent("process_name", 0, 0, "olympian"))
+	named := map[int]bool{}
 	for _, r := range records {
 		label := clientLabels[r.Client]
 		if label == "" {
 			label = fmt.Sprintf("client-%d", r.Client)
+		}
+		if !named[r.Client] {
+			named[r.Client] = true
+			tf.TraceEvents = append(tf.TraceEvents, metaEvent("thread_name", 0, r.Client, label))
 		}
 		tf.TraceEvents = append(tf.TraceEvents, event{
 			Name: label,

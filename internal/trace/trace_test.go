@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 	"time"
 
@@ -19,44 +20,81 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := WriteChromeTrace(&buf, records, map[int]string{0: "inception"}); err != nil {
 		t.Fatal(err)
 	}
+	type traceEvent struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+		Args struct {
+			Name            string `json:"name"`
+			OverflowKernels int    `json:"overflowKernels"`
+		} `json:"args"`
+	}
 	var decoded struct {
-		TraceEvents []struct {
-			Name string  `json:"name"`
-			Ph   string  `json:"ph"`
-			Ts   float64 `json:"ts"`
-			Dur  float64 `json:"dur"`
-			Tid  int     `json:"tid"`
-			Args struct {
-				OverflowKernels int `json:"overflowKernels"`
-			} `json:"args"`
-		} `json:"traceEvents"`
-		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if len(decoded.TraceEvents) != 2 {
-		t.Fatalf("%d events", len(decoded.TraceEvents))
+	var slices, meta []traceEvent
+	for _, ev := range decoded.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices = append(slices, ev)
+		case "M":
+			meta = append(meta, ev)
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
 	}
-	ev0 := decoded.TraceEvents[0]
-	if ev0.Name != "inception" || ev0.Ph != "X" || ev0.Ts != 0 || ev0.Dur != 1200 {
+	if len(slices) != 2 {
+		t.Fatalf("%d slice events", len(slices))
+	}
+	ev0 := slices[0]
+	if ev0.Name != "inception" || ev0.Ts != 0 || ev0.Dur != 1200 {
 		t.Fatalf("event 0 %+v", ev0)
 	}
-	ev1 := decoded.TraceEvents[1]
+	ev1 := slices[1]
 	if ev1.Name != "client-1" || ev1.Tid != 1 || ev1.Args.OverflowKernels != 1 {
 		t.Fatalf("event 1 %+v", ev1)
+	}
+	// Metadata events label the process and each client track.
+	labels := map[string]string{}
+	for _, ev := range meta {
+		labels[fmt.Sprintf("%s/%d", ev.Name, ev.Tid)] = ev.Args.Name
+	}
+	if labels["process_name/0"] != "olympian" {
+		t.Fatalf("missing process_name metadata: %v", labels)
+	}
+	if labels["thread_name/0"] != "inception" || labels["thread_name/1"] != "client-1" {
+		t.Fatalf("missing thread_name metadata: %v", labels)
 	}
 	if decoded.DisplayTimeUnit != "ms" {
 		t.Fatalf("display unit %q", decoded.DisplayTimeUnit)
 	}
 }
 
+// TestWriteChromeTraceEmpty is the regression test for the nil-slice bug:
+// with no records, traceEvents must still be a JSON array (a nil Go slice
+// marshals to null, which Perfetto rejects).
 func TestWriteChromeTraceEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
-		t.Fatal("missing traceEvents key")
+	var decoded struct {
+		TraceEvents json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.TraceEvents) == 0 || decoded.TraceEvents[0] != '[' {
+		t.Fatalf("traceEvents is not a JSON array: %s", decoded.TraceEvents)
+	}
+	var events []json.RawMessage
+	if err := json.Unmarshal(decoded.TraceEvents, &events); err != nil {
+		t.Fatalf("traceEvents does not decode as an array: %v", err)
 	}
 }

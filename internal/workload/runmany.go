@@ -32,8 +32,21 @@ type Outcome struct {
 // Run(specs[i].Config, specs[i].Clients) serially; only wall-clock time
 // changes. Outcomes are returned in spec order regardless of completion
 // order.
+//
+// When any spec carries a lifecycle recorder (Config.Obs), the whole batch
+// runs serially instead: a recorder splices runs onto one timeline in bind
+// order, which concurrent execution would scramble. Results are unchanged
+// either way — only wall-clock time differs.
 func RunMany(specs []RunSpec) []Outcome {
 	out := make([]Outcome, len(specs))
+	for _, s := range specs {
+		if s.Config.Obs != nil {
+			for i := range specs {
+				out[i].Result, out[i].Err = Run(specs[i].Config, specs[i].Clients)
+			}
+			return out
+		}
+	}
 	par.For(len(specs), func(i int) error {
 		out[i].Result, out[i].Err = Run(specs[i].Config, specs[i].Clients)
 		return nil

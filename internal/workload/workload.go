@@ -17,6 +17,7 @@ import (
 	"olympian/internal/graph"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 	"olympian/internal/overload"
 	"olympian/internal/par"
 	"olympian/internal/profiler"
@@ -133,6 +134,13 @@ type Config struct {
 	// retry attempts, jittered deterministically from the fault injector's
 	// retry stream (zero: overload's 1ms default).
 	RetryBackoff time.Duration
+	// Obs, when non-nil, records the run's lifecycle trace (client
+	// batches, executor jobs, kernels, retries) and its metrics. The
+	// recorder is bound to the run's environment at start; one recorder
+	// may observe several sequential runs. Nil keeps the zero-cost
+	// disabled path. A run with Obs set must not execute concurrently
+	// with other runs sharing the recorder (RunMany refuses to).
+	Obs *obs.Recorder
 }
 
 // MaxBatchRetries bounds how often a closed-loop client re-submits a
@@ -203,6 +211,7 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 	}
 
 	env := sim.NewEnv(cfg.Seed)
+	cfg.Obs.Bind(env, "run:"+cfg.Kind.String())
 	dev := gpu.New(env, cfg.Spec)
 
 	var inj *faults.Injector
@@ -241,6 +250,7 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 		ThreadPoolSize: cfg.ThreadPoolSize,
 		Jitter:         cfg.Jitter,
 		Faults:         inj,
+		Obs:            cfg.Obs,
 	}
 	if cfg.Kind == KernelSlicing {
 		// Related-work parameters: slices near the quantum scale, with the
@@ -258,6 +268,13 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 		retryTokens = 0
 	}
 	budget := overload.NewRetryBudget(float64(retryTokens), 1)
+	retriesC := cfg.Obs.Registry().Counter("olympian_client_retries_total", "Client batch retries.")
+	if cfg.Obs != nil {
+		budget.SetObserver(&budgetObserver{
+			rec:     cfg.Obs,
+			deniedC: cfg.Obs.Registry().Counter("olympian_overload_retry_denied_total", "Retries refused by the budget."),
+		})
+	}
 
 	res := &Result{Kind: cfg.Kind, Finishes: &metrics.FinishSet{Label: cfg.Kind.String()}}
 	if cfg.Kind != Vanilla {
@@ -295,6 +312,7 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 				batches = 1
 			}
 			for b := 0; b < batches; b++ {
+				span := cfg.Obs.StartSpan(obs.LayerHarness, "client_batch", i, obs.NoClass, 0, int64(b))
 				for attempt := 0; ; attempt++ {
 					job := eng.NewJob(i, g)
 					if spec.Weight > 0 {
@@ -319,8 +337,11 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 						break
 					}
 					res.Degraded.BatchRetries++
+					retriesC.Inc()
+					cfg.Obs.Instant(obs.LayerHarness, "client_retry", i, obs.NoClass, 0, int64(attempt+1))
 					p.Sleep(overload.Backoff(cfg.RetryBackoff, attempt, 0.5, inj.RetryJitter()))
 				}
+				cfg.Obs.EndSpan(span)
 			}
 			finish := time.Duration(p.Now())
 			res.Finishes.Add(i, spec.Model, finish)
@@ -364,6 +385,21 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 		res.SMEfficiency = dev.OccupancyTime().Seconds() / res.Elapsed.Seconds()
 	}
 	return res, nil
+}
+
+// budgetObserver adapts the run's shared retry budget onto the lifecycle
+// recorder: every denial becomes an overload-layer instant plus a counter
+// bump. Only attached when recording is on.
+type budgetObserver struct {
+	rec     *obs.Recorder
+	deniedC *obs.Series
+}
+
+func (o *budgetObserver) LimitChanged(float64) {}
+
+func (o *budgetObserver) RetryDenied() {
+	o.rec.Instant(obs.LayerOverload, "retry_denied", obs.NoReq, obs.NoClass, 0, 0)
+	o.deniedC.Inc()
 }
 
 // buildGraphs constructs one shared graph per distinct model reference.
