@@ -8,14 +8,19 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"olympian/internal/cluster"
 	"olympian/internal/gpu"
 	"olympian/internal/model"
+	"olympian/internal/overload"
 	"olympian/internal/profiler"
 	"olympian/internal/sim"
 	"olympian/internal/workload"
@@ -53,6 +58,9 @@ func benchSuite() []struct {
 		{"gpu/kernel_dispatch", benchKernelDispatch},
 		{"model/build_uncached", benchModelBuild},
 		{"experiments/run_many_speedup", benchRunManySpeedup},
+		{"cluster/sharded_1dev", benchShardedCluster(1, 5_000)},
+		{"cluster/sharded_8dev", benchShardedCluster8},
+		{"cluster/sharded_64dev", benchShardedCluster(64, 50_000)},
 	}
 }
 
@@ -136,6 +144,93 @@ func benchRunManySpeedup(b *testing.B) {
 	b.ReportMetric(serial.Seconds(), "serial_s")
 }
 
+// benchShardedSweep runs one open-loop Poisson sweep of the micro model
+// through a sharded cluster in slim mode and reports its wall-clock time.
+// Mirrors the `sharded` experiment's sweep so bench numbers and experiment
+// observations describe the same workload.
+func benchShardedSweep(engine cluster.Engine, devices, requests int) (time.Duration, error) {
+	devs := make([]gpu.Spec, devices)
+	for i := range devs {
+		devs[i] = gpu.GTX1080Ti
+	}
+	c, err := cluster.NewSharded(cluster.Config{
+		Seed:         1,
+		Devices:      devs,
+		Route:        cluster.LeastOutstanding,
+		MaxBatch:     16,
+		BatchTimeout: 2 * time.Millisecond,
+		Slim:         true,
+	}, engine)
+	if err != nil {
+		return 0, err
+	}
+	env := c.FrontEnv()
+	rng := rand.New(rand.NewSource(18))
+	rate := 2000.0 * float64(devices)
+	n := 0
+	var gen func()
+	gen = func() {
+		c.SubmitEvent(model.Micro, overload.Interactive)
+		n++
+		if n < requests {
+			env.Schedule(time.Duration(rng.ExpFloat64()*float64(time.Second)/rate), gen)
+		}
+	}
+	env.Schedule(0, gen)
+	start := time.Now()
+	if err := c.Run(); err != nil {
+		return 0, err
+	}
+	wall := time.Since(start)
+	st := c.Stats()
+	c.Shutdown()
+	if st.Completed != requests {
+		return 0, fmt.Errorf("sharded sweep lost requests: completed %d of %d", st.Completed, requests)
+	}
+	return wall, nil
+}
+
+// benchShardedCluster benchmarks one full sweep per op on the parallel
+// engine, reporting wall-clock requests/second.
+func benchShardedCluster(devices, requests int) func(b *testing.B) {
+	return func(b *testing.B) {
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			wall, err := benchShardedSweep(cluster.Sharded, devices, requests)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += wall
+		}
+		b.ReportMetric(float64(requests)*float64(b.N)/total.Seconds(), "req_per_s")
+	}
+}
+
+// benchShardedCluster8 additionally measures the single-heap reference on
+// the identical 8-device sweep and reports the parallel engine's wall-clock
+// speedup over it. On a single core the sharded engine degrades to serial
+// and the speedup hovers around 1x; the metric exists so multi-core runs can
+// demonstrate (and CI can track) the parallel gain.
+func benchShardedCluster8(b *testing.B) {
+	const devices, requests = 8, 20_000
+	single, err := benchShardedSweep(cluster.SingleHeap, devices, requests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		wall, err := benchShardedSweep(cluster.Sharded, devices, requests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += wall
+	}
+	sharded := total / time.Duration(b.N)
+	b.ReportMetric(single.Seconds()/sharded.Seconds(), "speedup")
+	b.ReportMetric(float64(requests)*float64(b.N)/total.Seconds(), "req_per_s")
+}
+
 // benchSpecs builds a small multi-config workload: four independent Olympian
 // runs over a pre-warmed shared profile store.
 func benchSpecs() ([]workload.RunSpec, error) {
@@ -162,9 +257,56 @@ func benchSpecs() ([]workload.RunSpec, error) {
 	return specs, nil
 }
 
+// checkBenchBaseline compares a fresh benchmark report against a committed
+// baseline (itself a BENCH_<stamp>.json) and errors when any shared
+// benchmark's ns/op regressed by more than the tolerance fraction (0.25 =
+// 25% slower). Benchmarks new since the baseline pass freely; benchmarks the
+// baseline lists but the suite no longer runs are an error — the baseline is
+// stale and must be refreshed from a new -bench-json snapshot.
+func checkBenchBaseline(rep benchReport, path string, tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]benchResult, len(base.Benchmarks))
+	for _, br := range base.Benchmarks {
+		baseline[br.Name] = br
+	}
+	var regressions []string
+	for _, br := range rep.Benchmarks {
+		bb, ok := baseline[br.Name]
+		if !ok {
+			continue
+		}
+		delete(baseline, br.Name)
+		if bb.NsPerOp > 0 && br.NsPerOp > bb.NsPerOp*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+				br.Name, br.NsPerOp, bb.NsPerOp,
+				100*(br.NsPerOp/bb.NsPerOp-1), 100*tol))
+		}
+	}
+	stale := make([]string, 0, len(baseline))
+	for name := range baseline {
+		stale = append(stale, name)
+	}
+	sort.Strings(stale)
+	if len(stale) > 0 {
+		return fmt.Errorf("baseline %s lists benchmarks the suite no longer runs (refresh it from a new -bench-json snapshot): %v", path, stale)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regressions beyond tolerance:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
 // runBenchJSON executes the suite and writes BENCH_<stamp>.json into dir,
-// returning the file path.
-func runBenchJSON(dir string, stamp time.Time) (string, error) {
+// returning the file path and the report for baseline comparison.
+func runBenchJSON(dir string, stamp time.Time) (string, benchReport, error) {
 	rep := benchReport{
 		Stamp:      stamp.UTC().Format("20060102T150405Z"),
 		GoVersion:  runtime.Version(),
@@ -173,7 +315,7 @@ func runBenchJSON(dir string, stamp time.Time) (string, error) {
 	for _, bm := range benchSuite() {
 		res := testing.Benchmark(bm.Fn)
 		if res.N == 0 {
-			return "", fmt.Errorf("benchmark %s failed (see log above)", bm.Name)
+			return "", rep, fmt.Errorf("benchmark %s failed (see log above)", bm.Name)
 		}
 		br := benchResult{
 			Name:        bm.Name,
@@ -192,11 +334,11 @@ func runBenchJSON(dir string, stamp time.Time) (string, error) {
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return "", err
+		return "", rep, err
 	}
 	path := filepath.Join(dir, "BENCH_"+rep.Stamp+".json")
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
-		return "", err
+		return "", rep, err
 	}
-	return path, nil
+	return path, rep, nil
 }

@@ -14,9 +14,12 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	dir := t.TempDir()
 	stamp := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
-	path, err := runBenchJSON(dir, stamp)
+	path, fresh, err := runBenchJSON(dir, stamp)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(fresh.Benchmarks) != len(benchSuite()) {
+		t.Fatalf("returned report has %d benchmarks, want %d", len(fresh.Benchmarks), len(benchSuite()))
 	}
 	if want := "BENCH_20260805T120000Z.json"; !strings.HasSuffix(path, want) {
 		t.Fatalf("path %q, want suffix %q", path, want)
@@ -42,9 +45,67 @@ func TestRunBenchJSON(t *testing.T) {
 			t.Errorf("%s: implausible measurement n=%d ns/op=%f", got.Name, got.N, got.NsPerOp)
 		}
 	}
-	// The speedup bench must report its derived metric.
-	last := rep.Benchmarks[len(rep.Benchmarks)-1]
-	if last.Metrics["speedup"] <= 0 {
-		t.Errorf("run_many_speedup: missing speedup metric: %v", last.Metrics)
+	// The speedup benches must report their derived metrics.
+	byName := make(map[string]benchResult, len(rep.Benchmarks))
+	for _, br := range rep.Benchmarks {
+		byName[br.Name] = br
+	}
+	if br := byName["experiments/run_many_speedup"]; br.Metrics["speedup"] <= 0 {
+		t.Errorf("run_many_speedup: missing speedup metric: %v", br.Metrics)
+	}
+	if br := byName["cluster/sharded_8dev"]; br.Metrics["speedup"] <= 0 || br.Metrics["req_per_s"] <= 0 {
+		t.Errorf("sharded_8dev: missing speedup/req_per_s metrics: %v", br.Metrics)
+	}
+	if br := byName["cluster/sharded_64dev"]; br.Metrics["req_per_s"] <= 0 {
+		t.Errorf("sharded_64dev: missing req_per_s metric: %v", br.Metrics)
+	}
+}
+
+// TestCheckBenchBaseline exercises the regression gate without running any
+// benchmarks: pass within tolerance, fail beyond it, allow new benchmarks,
+// and reject stale baselines.
+func TestCheckBenchBaseline(t *testing.T) {
+	write := func(rep benchReport) string {
+		t.Helper()
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := t.TempDir() + "/BENCH_baseline.json"
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := benchReport{Benchmarks: []benchResult{
+		{Name: "a", NsPerOp: 1000},
+		{Name: "b", NsPerOp: 500},
+	}}
+	path := write(base)
+
+	ok := benchReport{Benchmarks: []benchResult{
+		{Name: "a", NsPerOp: 1200}, // +20%, inside 25%
+		{Name: "b", NsPerOp: 400},  // faster
+		{Name: "c", NsPerOp: 9999}, // new benchmark, no baseline yet
+	}}
+	if err := checkBenchBaseline(ok, path, 0.25); err != nil {
+		t.Errorf("within-tolerance report failed the gate: %v", err)
+	}
+
+	slow := benchReport{Benchmarks: []benchResult{
+		{Name: "a", NsPerOp: 1300}, // +30%, beyond 25%
+		{Name: "b", NsPerOp: 500},
+	}}
+	if err := checkBenchBaseline(slow, path, 0.25); err == nil || !strings.Contains(err.Error(), "a:") {
+		t.Errorf("regression beyond tolerance passed the gate: %v", err)
+	}
+
+	stale := benchReport{Benchmarks: []benchResult{{Name: "a", NsPerOp: 1000}}}
+	if err := checkBenchBaseline(stale, path, 0.25); err == nil || !strings.Contains(err.Error(), "no longer runs") {
+		t.Errorf("stale baseline passed the gate: %v", err)
+	}
+
+	if err := checkBenchBaseline(ok, path+".missing", 0.25); err == nil {
+		t.Error("missing baseline file passed the gate")
 	}
 }

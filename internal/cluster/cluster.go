@@ -81,6 +81,88 @@ type Config struct {
 	// recorder into every device's serving stack. Nil keeps the zero-cost
 	// disabled path.
 	Obs *obs.Recorder
+
+	// NetLatency is the modeled front-end<->device network latency used by
+	// the sharded engine; it doubles as the conservative lookahead that
+	// bounds each shard's safe-execution window (default DefaultNetLatency).
+	// The legacy single-environment engine (New) ignores it.
+	NetLatency time.Duration
+	// Workers bounds the sharded engine's worker pool (0 = GOMAXPROCS; 1
+	// degrades gracefully to serial execution with identical output).
+	// Ignored by the legacy engine.
+	Workers int
+	// Slim disables per-request retention in the sharded engine and its
+	// serving stacks, and streams routing decisions into the fingerprint
+	// instead of retaining the log, so multi-million-request sweeps hold
+	// memory proportional to latency samples only. Stats are unchanged.
+	// Ignored by the legacy engine.
+	Slim bool
+}
+
+// withDefaults fills zero-valued knobs shared by both cluster engines.
+func (cfg Config) withDefaults() Config {
+	if len(cfg.Devices) == 0 {
+		cfg.Devices = []gpu.Spec{gpu.GTX1080Ti}
+	}
+	if cfg.Route == 0 {
+		cfg.Route = LeastOutstanding
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = func() core.Policy { return core.NewFair() }
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = workloadDefaultQuantum
+	}
+	if cfg.MaxFailovers == 0 {
+		cfg.MaxFailovers = 3
+	} else if cfg.MaxFailovers < 0 {
+		cfg.MaxFailovers = 0
+	}
+	if cfg.Profiles == nil {
+		cfg.Profiles = profiler.NewStore()
+	}
+	return cfg
+}
+
+// debtUnit builds the cost-weighted router's per-request debt oracle for a
+// defaulted config: T_j = Q·C_j/D_j from an offline batch-1 profile,
+// computed once per model through the shared store.
+func debtUnit(cfg Config) func(string) (time.Duration, error) {
+	return func(modelName string) (time.Duration, error) {
+		key := profiler.Key{Model: modelName, Batch: 1}
+		prof, err := cfg.Profiles.GetOrCompute(key, func() (*profiler.Result, error) {
+			g, err := model.Build(modelName, 1)
+			if err != nil {
+				return nil, err
+			}
+			return profiler.ProfileSolo(g, profiler.Options{Spec: cfg.Devices[0], Seed: cfg.Seed + 7})
+		})
+		if err != nil {
+			return 0, err
+		}
+		return prof.Threshold(cfg.Quantum), nil
+	}
+}
+
+// applyPlacement validates a plan against the fleet size and restricts each
+// placed model to its replicas.
+func applyPlacement(rt *Router, pl *planner.Placement, devices int) error {
+	if pl == nil {
+		return nil
+	}
+	byRef := make(map[string][]int)
+	for _, r := range pl.Replicas {
+		byRef[r.Model] = append(byRef[r.Model], r.Device)
+	}
+	for name, devs := range byRef {
+		for _, d := range devs {
+			if d < 0 || d >= devices {
+				return fmt.Errorf("cluster: placement puts %s on device %d of %d", name, d, devices)
+			}
+		}
+		rt.setReplicas(name, devs)
+	}
+	return nil
 }
 
 // Cluster is a fleet of devices behind one router.
@@ -147,26 +229,7 @@ type attempt struct {
 // Olympian scheduler, serving front-end, and (optionally) fault injector,
 // all seeded deterministically from cfg.Seed and the device index.
 func New(env *sim.Env, cfg Config) (*Cluster, error) {
-	if len(cfg.Devices) == 0 {
-		cfg.Devices = []gpu.Spec{gpu.GTX1080Ti}
-	}
-	if cfg.Route == 0 {
-		cfg.Route = LeastOutstanding
-	}
-	if cfg.Policy == nil {
-		cfg.Policy = func() core.Policy { return core.NewFair() }
-	}
-	if cfg.Quantum <= 0 {
-		cfg.Quantum = workloadDefaultQuantum
-	}
-	if cfg.MaxFailovers == 0 {
-		cfg.MaxFailovers = 3
-	} else if cfg.MaxFailovers < 0 {
-		cfg.MaxFailovers = 0
-	}
-	if cfg.Profiles == nil {
-		cfg.Profiles = profiler.NewStore()
-	}
+	cfg = cfg.withDefaults()
 
 	c := &Cluster{env: env, cfg: cfg, rec: cfg.Obs}
 	reg := cfg.Obs.Registry()
@@ -175,20 +238,9 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 	c.hedgesC = reg.Counter("olympian_cluster_hedges_total", "Hedged duplicates dispatched.")
 	c.hedgeWinsC = reg.Counter("olympian_cluster_hedge_wins_total", "Races won by the hedge.")
 	c.drainsC = reg.Counter("olympian_cluster_drains_total", "Devices drained on stall.")
-	c.router = newRouter(env, len(cfg.Devices), cfg.Route, c.requestCost)
-	if cfg.Placement != nil {
-		byRef := make(map[string][]int)
-		for _, r := range cfg.Placement.Replicas {
-			byRef[r.Model] = append(byRef[r.Model], r.Device)
-		}
-		for name, devs := range byRef {
-			for _, d := range devs {
-				if d < 0 || d >= len(cfg.Devices) {
-					return nil, fmt.Errorf("cluster: placement puts %s on device %d of %d", name, d, len(cfg.Devices))
-				}
-			}
-			c.router.setReplicas(name, devs)
-		}
+	c.router = newRouter(env, len(cfg.Devices), cfg.Route, debtUnit(cfg))
+	if err := applyPlacement(c.router, cfg.Placement, len(cfg.Devices)); err != nil {
+		return nil, err
 	}
 
 	for i, spec := range cfg.Devices {
@@ -227,24 +279,6 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 // workloadDefaultQuantum mirrors workload.DefaultQuantum without importing
 // the workload package (which would cycle through experiments).
 const workloadDefaultQuantum = 1200 * time.Microsecond
-
-// requestCost returns the router's per-request debt unit for a model:
-// T_j = Q·C_j/D_j from an offline batch-1 profile, computed once per model
-// through the shared store.
-func (c *Cluster) requestCost(modelName string) (time.Duration, error) {
-	key := profiler.Key{Model: modelName, Batch: 1}
-	prof, err := c.cfg.Profiles.GetOrCompute(key, func() (*profiler.Result, error) {
-		g, err := model.Build(modelName, 1)
-		if err != nil {
-			return nil, err
-		}
-		return profiler.ProfileSolo(g, profiler.Options{Spec: c.cfg.Devices[0], Seed: c.cfg.Seed + 7})
-	})
-	if err != nil {
-		return 0, err
-	}
-	return prof.Threshold(c.cfg.Quantum), nil
-}
 
 // failover reacts to a device stall: the device leaves rotation until the
 // stall clears, and its queued requests are drained so their waiters
@@ -512,7 +546,7 @@ func (c *Cluster) Stats() Stats {
 	if now > 0 {
 		st.Goodput = float64(st.Completed) / now.Seconds()
 	}
-	st.Decisions = len(c.router.decisions)
+	st.Decisions = c.router.Count()
 	st.DecisionHash = c.router.DecisionHash()
 	return st
 }

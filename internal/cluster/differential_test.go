@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"olympian/internal/faults"
+	"olympian/internal/gpu"
+	"olympian/internal/model"
+	"olympian/internal/obs"
+	"olympian/internal/overload"
+	"olympian/internal/planner"
+	"olympian/internal/trace"
+)
+
+// shardedScenario is one differential-test workload: a cluster config
+// builder (fresh per run — policies are stateful) plus an arrival pattern.
+type shardedScenario struct {
+	name    string
+	cfg     func() Config
+	models  []string
+	classes []overload.Class // cycled per arrival; nil = all interactive
+	n       int              // arrivals per model
+	gap     time.Duration
+}
+
+// shardedScenarios mirror the chaos, cluster, and overload experiment
+// shapes: fault-heavy single device, placed multi-device with failover, and
+// admission control with hedging under class pressure.
+func shardedScenarios() []shardedScenario {
+	return []shardedScenario{
+		{
+			name: "chaos",
+			cfg: func() Config {
+				return Config{
+					Seed:    11,
+					Devices: []gpu.Spec{gpu.GTX1080Ti},
+					Faults: []*faults.Plan{{
+						KernelFailRate: 0.02,
+						StallEvery:     18 * time.Millisecond,
+						StallDur:       25 * time.Millisecond,
+					}},
+					BatchTimeout: 4 * time.Millisecond,
+				}
+			},
+			models: []string{model.Inception},
+			n:      30,
+			gap:    500 * time.Microsecond,
+		},
+		{
+			name: "cluster",
+			cfg: func() Config {
+				return Config{
+					Seed:    7,
+					Devices: []gpu.Spec{gpu.GTX1080Ti, gpu.GTX1080Ti, gpu.GTX1080Ti, gpu.GTX1080Ti},
+					Faults: []*faults.Plan{
+						{StallEvery: 10 * time.Millisecond, StallDur: 40 * time.Millisecond},
+						nil, nil, nil,
+					},
+					Placement: &planner.Placement{Replicas: []planner.Replica{
+						{Model: model.Inception, Batch: 1, Device: 0},
+						{Model: model.Inception, Batch: 1, Device: 1},
+						{Model: model.ResNet50, Batch: 1, Device: 1},
+						{Model: model.ResNet50, Batch: 1, Device: 2},
+						{Model: model.ResNet50, Batch: 1, Device: 3},
+					}},
+					Route:        CostWeighted,
+					BatchTimeout: 8 * time.Millisecond,
+				}
+			},
+			models: []string{model.Inception, model.ResNet50},
+			n:      80,
+			gap:    500 * time.Microsecond,
+		},
+		{
+			name: "overload",
+			cfg: func() Config {
+				return Config{
+					Seed:    23,
+					Devices: []gpu.Spec{gpu.GTX1080Ti, gpu.GTX1080Ti},
+					Faults: []*faults.Plan{
+						nil,
+						{StallEvery: 20 * time.Millisecond, StallDur: 15 * time.Millisecond},
+					},
+					MaxQueue:     24,
+					Deadline:     60 * time.Millisecond,
+					HedgeDelay:   8 * time.Millisecond,
+					BatchTimeout: 3 * time.Millisecond,
+					Admission:    &overload.AIMDConfig{Initial: 6, Beta: 0.5, Cooldown: 2 * time.Millisecond},
+				}
+			},
+			models:  []string{model.Inception},
+			classes: []overload.Class{overload.Interactive, overload.Batch, overload.Interactive},
+			n:       40,
+			gap:     300 * time.Microsecond,
+		},
+	}
+}
+
+// runSharded executes one scenario on the given engine and returns its
+// stats. The recorder, when non-nil, receives the merged per-shard traces.
+func runSharded(t *testing.T, sc shardedScenario, engine Engine, workers int, slim bool, rec *obs.Recorder) Stats {
+	t.Helper()
+	cfg := sc.cfg()
+	cfg.Workers = workers
+	cfg.Slim = slim
+	cfg.Obs = rec
+	c, err := NewSharded(cfg, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.FrontEnv()
+	for _, m := range sc.models {
+		m := m
+		for i := 0; i < sc.n; i++ {
+			class := overload.Interactive
+			if len(sc.classes) > 0 {
+				class = sc.classes[i%len(sc.classes)]
+			}
+			env.Schedule(time.Duration(i)*sc.gap, func() {
+				if _, err := c.SubmitEvent(m, class); err != nil {
+					t.Errorf("submit %s: %v", m, err)
+				}
+			})
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	c.FinishObs("run:" + sc.name)
+	return c.Stats()
+}
+
+// renderObs renders a recorder's lifecycle trace and metrics to comparable
+// byte strings.
+func renderObs(t *testing.T, rec *obs.Recorder) (string, string) {
+	t.Helper()
+	var tr, pm bytes.Buffer
+	if err := trace.WriteLifecycle(&tr, rec.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Registry().WritePrometheus(&pm); err != nil {
+		t.Fatal(err)
+	}
+	return tr.String(), pm.String()
+}
+
+// TestShardedEnginesBitIdentical is the tentpole invariant: for every
+// scenario, the parallel engine (at several worker counts, including the
+// serial degradation) must produce stats, decision-log hashes, and lifecycle
+// trace bytes identical to the single-heap reference engine.
+func TestShardedEnginesBitIdentical(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, sc := range shardedScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			refRec := obs.NewRecorder()
+			ref := runSharded(t, sc, SingleHeap, 0, false, refRec)
+			refTrace, refProm := renderObs(t, refRec)
+			if ref.DecisionHash == 0 {
+				t.Fatal("reference run produced a zero decision hash")
+			}
+			if ref.Completed == 0 {
+				t.Fatalf("reference run completed nothing: %+v", ref)
+			}
+			for _, workers := range []int{0, 1, 2} {
+				rec := obs.NewRecorder()
+				got := runSharded(t, sc, Sharded, workers, false, rec)
+				if !reflect.DeepEqual(ref, got) {
+					t.Errorf("workers=%d: stats differ from single-heap reference\nref: %+v\ngot: %+v", workers, ref, got)
+				}
+				if got.DecisionHash != ref.DecisionHash {
+					t.Errorf("workers=%d: decision hash %x, want %x", workers, got.DecisionHash, ref.DecisionHash)
+				}
+				gotTrace, gotProm := renderObs(t, rec)
+				if gotTrace != refTrace {
+					t.Errorf("workers=%d: lifecycle trace bytes differ from single-heap reference", workers)
+				}
+				if gotProm != refProm {
+					t.Errorf("workers=%d: metrics differ from single-heap reference:\n%s\nvs\n%s", workers, gotProm, refProm)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSlimMatchesRetained: slim mode must change memory behavior
+// only — stats (including the streamed decision fingerprint) stay identical
+// to the retained path on both engines.
+func TestShardedSlimMatchesRetained(t *testing.T) {
+	sc := shardedScenarios()[1]
+	for _, engine := range []Engine{SingleHeap, Sharded} {
+		full := runSharded(t, sc, engine, 0, false, nil)
+		slim := runSharded(t, sc, engine, 0, true, nil)
+		if !reflect.DeepEqual(full, slim) {
+			t.Errorf("%v: slim stats differ from retained\nfull: %+v\nslim: %+v", engine, full, slim)
+		}
+	}
+	// Slim drops the retained logs themselves.
+	cfg := sc.cfg()
+	cfg.Slim = true
+	c, err := NewSharded(cfg, Sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Requests() != nil || c.Router().Decisions() != nil {
+		t.Fatal("slim mode retained requests or decisions")
+	}
+}
+
+// TestShardedFailoverCompletes: the message-passing failover path must still
+// land every request despite stalls, and the engines must agree on it.
+func TestShardedFailoverCompletes(t *testing.T) {
+	sc := shardedScenarios()[1]
+	st := runSharded(t, sc, Sharded, 0, false, nil)
+	if st.Degraded.DeviceStalls == 0 {
+		t.Fatal("no stall fired; the fault plan never engaged")
+	}
+	if st.Failovers == 0 {
+		t.Fatal("stall drained no queued requests into failover")
+	}
+	if st.Requests != 160 || st.Completed+st.Failed != 160 {
+		t.Fatalf("request accounting wrong: %+v", st)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d requests failed despite failover", st.Failed)
+	}
+}
+
+// TestShardedHedgeRaces: hedged duplicates race and losers are cancelled
+// across shards without double-counting completions.
+func TestShardedHedgeRaces(t *testing.T) {
+	sc := shardedScenarios()[2]
+	st := runSharded(t, sc, Sharded, 0, false, nil)
+	if st.Hedges == 0 {
+		t.Fatal("no hedge dispatched; scenario mistuned")
+	}
+	if st.Completed+st.Failed != st.Requests {
+		t.Fatalf("hedging double-counted requests: %+v", st)
+	}
+}

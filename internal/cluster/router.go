@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"hash"
 	"hash/fnv"
+	"io"
 	"sort"
 	"time"
 
@@ -74,6 +76,13 @@ type Router struct {
 	downUntil   []sim.Time
 
 	decisions []Decision
+	count     int
+	// slim streams each decision straight into the running hash instead of
+	// retaining it, so multi-million-request sweeps stay O(1) in routing
+	// memory. The hash covers exactly the bytes DecisionHash would fold over
+	// the retained log, so both modes fingerprint identically.
+	slim     bool
+	slimHash hash.Hash64
 }
 
 // newRouter wires a router over n devices.
@@ -93,6 +102,14 @@ func newRouter(env *sim.Env, n int, policy RoutePolicy, debtUnit func(string) (t
 		debtUnit:    debtUnit,
 		downUntil:   make([]sim.Time, n),
 	}
+}
+
+// setSlim switches the router to streaming-hash decision recording: the
+// decision log is folded into the fingerprint as it is produced and not
+// retained (Decisions returns nil; Count and DecisionHash still work).
+func (rt *Router) setSlim() {
+	rt.slim = true
+	rt.slimHash = fnv.New64a()
 }
 
 // setReplicas restricts a model to the given device indices.
@@ -197,10 +214,21 @@ func (rt *Router) route(modelName string, failover, hedge bool, exclude []int) (
 		}
 	}
 	rt.outstanding[pick]++
-	rt.decisions = append(rt.decisions, Decision{
-		Seq: len(rt.decisions), Model: modelName, Device: pick, Failover: failover, Hedge: hedge,
-	})
+	d := Decision{Seq: rt.count, Model: modelName, Device: pick, Failover: failover, Hedge: hedge}
+	rt.count++
+	if rt.slim {
+		writeDecision(rt.slimHash, d)
+	} else {
+		rt.decisions = append(rt.decisions, d)
+	}
 	return pick, nil
+}
+
+// writeDecision renders one decision into the hash stream. Both the retained
+// and the streaming fingerprint paths go through this single encoder, so the
+// two modes (and the two cluster engines) hash identical bytes.
+func writeDecision(w io.Writer, d Decision) {
+	fmt.Fprintf(w, "%d:%s:%d:%t:%t;", d.Seq, d.Model, d.Device, d.Failover, d.Hedge)
 }
 
 // release retires one outstanding request from a device.
@@ -214,15 +242,23 @@ func (rt *Router) release(device int) {
 // completed.
 func (rt *Router) Outstanding(device int) int { return rt.outstanding[device] }
 
-// Decisions returns the routing log in dispatch order.
+// Decisions returns the routing log in dispatch order; nil in slim mode,
+// which streams decisions into the fingerprint without retaining them.
 func (rt *Router) Decisions() []Decision { return rt.decisions }
+
+// Count returns how many routing decisions have been made.
+func (rt *Router) Count() int { return rt.count }
 
 // DecisionHash folds the routing log into one FNV-1a hash — a compact
 // fingerprint two same-seed runs can compare for byte-identical routing.
+// Slim and retained modes hash the same byte stream.
 func (rt *Router) DecisionHash() uint64 {
+	if rt.slim {
+		return rt.slimHash.Sum64()
+	}
 	h := fnv.New64a()
 	for _, d := range rt.decisions {
-		fmt.Fprintf(h, "%d:%s:%d:%t:%t;", d.Seq, d.Model, d.Device, d.Failover, d.Hedge)
+		writeDecision(h, d)
 	}
 	return h.Sum64()
 }

@@ -1,0 +1,556 @@
+// Sharded cluster engine: the fleet partitioned across per-device
+// sub-environments under conservative lookahead.
+//
+// The legacy engine (New) runs every device inside one event heap; past a
+// handful of devices the single heap serializes the whole fleet. The sharded
+// engine gives each device its own sim.Env — shard i+1 hosts device i's full
+// stack (GPU, scheduler, executor, serving front-end) — and keeps the
+// cluster's shared state (router, request bookkeeping, hedge timers) on
+// shard 0, the front-end. Shards interact only through sim.Shards.Send,
+// whose delay is clamped to the modeled network latency, so windows of
+// Config.NetLatency virtual time run in parallel across a worker pool.
+//
+// Every cross-shard interaction is a message:
+//
+//	submit:  front-end routes, then sends the attempt to the device's agent
+//	         (a daemon process that calls serving.SubmitClass from process
+//	         context and subscribes to the request's completion event).
+//	report:  the device snapshots the attempt's outcome in its own context
+//	         and sends it back; the front-end settles the race, re-dispatches
+//	         drained attempts, and cancels losers with cancel messages.
+//	stall:   a stalled device drains its own queue, then reports the stall;
+//	         the front-end takes it out of rotation until the stall clears.
+//
+// Determinism: the construction in package sim makes each shard's execution a
+// pure function of its initial state plus the barrier mail order, and every
+// stack draws randomness from private streams (serving.Config.IsolateRand),
+// so the parallel engine, its serial degradation (Workers=1), and the
+// single-heap reference engine produce bit-identical stats, decision-log
+// hashes, and lifecycle traces.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"olympian/internal/faults"
+	"olympian/internal/metrics"
+	"olympian/internal/obs"
+	"olympian/internal/overload"
+	"olympian/internal/serving"
+	"olympian/internal/sim"
+)
+
+// Engine selects how a sharded cluster executes its shards.
+type Engine int
+
+const (
+	// SingleHeap runs every shard on one shared event heap — the reference
+	// engine differential tests compare the parallel engine against.
+	SingleHeap Engine = iota
+	// Sharded runs each shard on its own heap, windows in parallel.
+	Sharded
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case SingleHeap:
+		return "single-heap"
+	case Sharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// DefaultNetLatency is the fallback front-end<->device network latency (and
+// thus the conservative lookahead bounding each parallel window).
+const DefaultNetLatency = 50 * time.Microsecond
+
+// ShardedCluster is a fleet of devices behind one router, executed on
+// per-device sub-environments synchronized at the routing boundary.
+type ShardedCluster struct {
+	cfg    Config
+	engine Engine
+	shards *sim.Shards
+	net    time.Duration
+
+	router  *Router
+	servers []*serving.Server
+	agents  []*shardAgent
+
+	// Front-end bookkeeping, all owned by shard 0.
+	requests   []*ShardedRequest // retained unless Slim
+	attemptReq map[int]*ShardedRequest
+	reqCount   int
+	attempts   int
+	completed  int
+	failed     int
+	failovers  int
+	hedges     int
+	hedgeWins  int
+	byModel    map[string][]float64
+
+	// children[0] records the front-end, children[i+1] device i; merged onto
+	// cfg.Obs by FinishObs. All nil when recording is off.
+	children []*obs.Recorder
+	rec      *obs.Recorder
+
+	routesC    *obs.Series
+	failoversC *obs.Series
+	hedgesC    *obs.Series
+	hedgeWinsC *obs.Series
+}
+
+// ShardedRequest is one cluster-level inference request under the sharded
+// engine. Like the legacy Request it survives failover and may be hedged,
+// but every dispatch attempt lives on its device's shard; the front-end only
+// sees attempt outcome reports.
+type ShardedRequest struct {
+	// ID is the request's cluster-level arrival index.
+	ID int
+	// Model is the target model name.
+	Model string
+	// Class is the request's priority class.
+	Class overload.Class
+	// Device is the replica that finally served (or last held) the request.
+	Device int
+	// Hops counts failover re-dispatches.
+	Hops int
+	// Hedged reports whether a duplicate was dispatched.
+	Hedged bool
+	// ArriveAt is when the request entered the front-end; FinishAt is when
+	// the winning (or last) attempt's report arrived back, so Latency spans
+	// both network hops.
+	ArriveAt sim.Time
+	FinishAt sim.Time
+	// Err is the request's final error (nil on success or in flight).
+	Err error
+
+	pending []shardAttempt
+	settled bool
+}
+
+// shardAttempt is the front-end's handle on one in-flight dispatch.
+type shardAttempt struct {
+	id    int
+	dev   int
+	hedge bool
+}
+
+// Finished reports whether the request has completed or failed.
+func (r *ShardedRequest) Finished() bool { return r.settled }
+
+// Failed reports whether the request ended in an error.
+func (r *ShardedRequest) Failed() bool { return r.settled && r.Err != nil }
+
+// Latency returns the end-to-end response time from front-end arrival to the
+// winning report's return; 0 in flight or after a failure.
+func (r *ShardedRequest) Latency() time.Duration {
+	if r.Err != nil || !r.settled || r.FinishAt < r.ArriveAt {
+		return 0
+	}
+	return time.Duration(r.FinishAt - r.ArriveAt)
+}
+
+// NewSharded builds a sharded cluster: shard 0 is the front-end, shard i+1
+// hosts device i. The engine picks parallel execution or the single-heap
+// reference; both produce bit-identical runs for equal configs and seeds.
+func NewSharded(cfg Config, engine Engine) (*ShardedCluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NetLatency <= 0 {
+		cfg.NetLatency = DefaultNetLatency
+	}
+	n := len(cfg.Devices)
+	shards := sim.NewShards(sim.ShardsConfig{
+		N:          n + 1,
+		Lookahead:  cfg.NetLatency,
+		Seed:       cfg.Seed,
+		SingleHeap: engine == SingleHeap,
+		Workers:    cfg.Workers,
+	})
+	c := &ShardedCluster{
+		cfg:        cfg,
+		engine:     engine,
+		shards:     shards,
+		net:        cfg.NetLatency,
+		attemptReq: make(map[int]*ShardedRequest),
+		byModel:    make(map[string][]float64),
+		children:   make([]*obs.Recorder, n+1),
+	}
+	if cfg.Obs != nil {
+		for i := range c.children {
+			c.children[i] = cfg.Obs.NewChild()
+			c.children[i].Attach(shards.Env(i))
+		}
+	}
+	c.rec = c.children[0]
+	reg := c.rec.Registry()
+	c.routesC = reg.Counter("olympian_cluster_routes_total", "Routing decisions.")
+	c.failoversC = reg.Counter("olympian_cluster_failovers_total", "Requests re-dispatched after a drain.")
+	c.hedgesC = reg.Counter("olympian_cluster_hedges_total", "Hedged duplicates dispatched.")
+	c.hedgeWinsC = reg.Counter("olympian_cluster_hedge_wins_total", "Races won by the hedge.")
+
+	c.router = newRouter(shards.Env(0), n, cfg.Route, debtUnit(cfg))
+	if cfg.Slim {
+		c.router.setSlim()
+	}
+	if err := applyPlacement(c.router, cfg.Placement, n); err != nil {
+		return nil, err
+	}
+
+	for i, spec := range cfg.Devices {
+		env := shards.Env(i + 1)
+		var inj *faults.Injector
+		if i < len(cfg.Faults) && cfg.Faults[i] != nil && cfg.Faults[i].Enabled() {
+			inj = faults.New(cfg.Seed+int64(i)*1031, *cfg.Faults[i])
+		}
+		srv, err := serving.NewServer(env, serving.Config{
+			Spec:         spec,
+			UseOlympian:  true,
+			Policy:       cfg.Policy(),
+			Quantum:      cfg.Quantum,
+			MaxBatch:     cfg.MaxBatch,
+			BatchTimeout: cfg.BatchTimeout,
+			MaxQueue:     cfg.MaxQueue,
+			Deadline:     cfg.Deadline,
+			Seed:         cfg.Seed + int64(i)*101,
+			Faults:       inj,
+			Admission:    cfg.Admission,
+			Obs:          c.children[i+1],
+			Device:       i,
+			IsolateRand:  true,
+			Slim:         cfg.Slim,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: device %d: %w", i, err)
+		}
+		c.servers = append(c.servers, srv)
+		c.agents = append(c.agents, newShardAgent(c, i, srv))
+
+		i := i
+		devRec := c.children[i+1]
+		drainsC := devRec.Registry().Counter("olympian_cluster_drains_total", "Devices drained on stall.")
+		srv.Device().SetStallObserver(func(until sim.Time) {
+			// Device-side: drain our own queue (the drained requests' done
+			// events fan failed-attempt reports back through the agent), then
+			// tell the front-end to route around us.
+			drained := srv.DrainQueued()
+			drainsC.Inc()
+			devRec.Instant(obs.LayerCluster, "drain", obs.NoReq, obs.NoClass, i, int64(drained))
+			c.shards.Send(i+1, 0, c.net, func() { c.stallReported(i, until) })
+		})
+	}
+	return c, nil
+}
+
+// shardAgent executes front-end commands on its device's shard. Submit and
+// cancel need process context (serving.SubmitClass and the gang-abort path
+// both park), so the agent is a daemon process draining a FIFO op queue that
+// cross-shard messages append to.
+type shardAgent struct {
+	c     *ShardedCluster
+	shard int // device+1
+	srv   *serving.Server
+	cond  *sim.Cond
+	ops   []agentOp
+	inner map[int]*serving.Request
+}
+
+// agentOp is one front-end command: a dispatch attempt, or its cancellation.
+type agentOp struct {
+	cancel  bool
+	attempt int
+	model   string
+	class   overload.Class
+}
+
+func newShardAgent(c *ShardedCluster, device int, srv *serving.Server) *shardAgent {
+	env := c.shards.Env(device + 1)
+	name := fmt.Sprintf("cluster-agent-%d", device)
+	a := &shardAgent{
+		c:     c,
+		shard: device + 1,
+		srv:   srv,
+		cond:  env.NewCond(name),
+		inner: make(map[int]*serving.Request),
+	}
+	proc := env.Go(name, func(p *sim.Proc) {
+		for {
+			for len(a.ops) == 0 {
+				a.cond.Wait(p)
+			}
+			op := a.ops[0]
+			a.ops[0] = agentOp{}
+			a.ops = a.ops[1:]
+			a.exec(p, op)
+		}
+	})
+	proc.SetDaemon(true)
+	return a
+}
+
+// enqueue appends one op; called in the agent's shard context by delivered
+// cross-shard messages.
+func (a *shardAgent) enqueue(op agentOp) {
+	a.ops = append(a.ops, op)
+	a.cond.Signal()
+}
+
+func (a *shardAgent) exec(p *sim.Proc, op agentOp) {
+	if op.cancel {
+		if inner, ok := a.inner[op.attempt]; ok {
+			// A landed cancel completes the request with ErrCanceled, so its
+			// done subscriber reports back; a miss means the request already
+			// finished and its natural report is on the wire.
+			a.srv.Cancel(p, inner)
+		}
+		return
+	}
+	inner, err := a.srv.SubmitClass(p, op.model, op.class)
+	if err != nil {
+		// Synchronous rejection (e.g. unknown model): surface it as a failed
+		// attempt — under the sharded engine even these arrive asynchronously.
+		a.report(op.attempt, err)
+		return
+	}
+	id := op.attempt
+	a.inner[id] = inner
+	inner.Done().Subscribe(func() {
+		delete(a.inner, id)
+		a.report(id, inner.Err)
+	})
+}
+
+// report sends one attempt outcome back to the front-end. The error is
+// snapshotted here, in the device's own context, so the closure the
+// front-end runs touches no device-shard state.
+func (a *shardAgent) report(attempt int, err error) {
+	c := a.c
+	c.shards.Send(a.shard, 0, c.net, func() { c.attemptDone(attempt, err) })
+}
+
+// SubmitEvent routes one request of the given class and dispatches it to the
+// chosen replica. It must run in shard 0's execution context — an event
+// callback or process on FrontEnv, e.g. a self-rescheduling arrival event.
+// Routing errors (no replicas) are synchronous; a replica's own rejection
+// (shed, unknown model) arrives asynchronously as a failed attempt.
+func (c *ShardedCluster) SubmitEvent(modelName string, class overload.Class) (*ShardedRequest, error) {
+	dev, err := c.router.Route(modelName, false)
+	if err != nil {
+		return nil, err
+	}
+	r := &ShardedRequest{
+		ID:       c.reqCount,
+		Model:    modelName,
+		Class:    class,
+		Device:   dev,
+		ArriveAt: c.shards.Env(0).Now(),
+	}
+	c.reqCount++
+	if !c.cfg.Slim {
+		c.requests = append(c.requests, r)
+	}
+	c.routesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "route", r.ID, int(class), obs.NoDevice, int64(dev))
+	c.dispatch(r, dev, false)
+	if c.cfg.HedgeDelay > 0 {
+		c.armHedge(r)
+	}
+	return r, nil
+}
+
+// dispatch registers one attempt and sends it to the device's agent.
+func (c *ShardedCluster) dispatch(r *ShardedRequest, dev int, hedge bool) {
+	id := c.attempts
+	c.attempts++
+	c.attemptReq[id] = r
+	r.pending = append(r.pending, shardAttempt{id: id, dev: dev, hedge: hedge})
+	op := agentOp{attempt: id, model: r.Model, class: r.Class}
+	agent := c.agents[dev]
+	c.shards.Send(0, dev+1, c.net, func() { agent.enqueue(op) })
+}
+
+// attemptDone folds one attempt outcome report into the request's state.
+// Runs on shard 0 when the report message is delivered.
+func (c *ShardedCluster) attemptDone(id int, err error) {
+	r := c.attemptReq[id]
+	delete(c.attemptReq, id)
+	var att shardAttempt
+	for i, a := range r.pending {
+		if a.id == id {
+			att = a
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			break
+		}
+	}
+	c.router.release(att.dev)
+	if r.settled {
+		// A loser finishing after the race was decided: cancelled, or a
+		// photo-finish completion on the slower replica.
+		return
+	}
+	switch {
+	case err == nil:
+		c.settle(r, att.dev, nil)
+		if att.hedge {
+			c.hedgeWins++
+			c.hedgeWinsC.Inc()
+			c.rec.Instant(obs.LayerCluster, "hedge_win", r.ID, int(r.Class), obs.NoDevice, int64(att.dev))
+		}
+	case errors.Is(err, serving.ErrDrained) && r.Hops < c.cfg.MaxFailovers:
+		if next, rerr := c.router.Route(r.Model, true); rerr == nil {
+			r.Hops++
+			c.failovers++
+			c.failoversC.Inc()
+			c.rec.Instant(obs.LayerCluster, "failover", r.ID, int(r.Class), obs.NoDevice, int64(next))
+			c.dispatch(r, next, att.hedge)
+			return
+		}
+		if len(r.pending) == 0 {
+			c.settle(r, att.dev, err)
+		}
+	default:
+		// Terminal failure for this attempt; another attempt may still be
+		// racing, so only the last one standing settles the request.
+		if len(r.pending) == 0 {
+			c.settle(r, att.dev, err)
+		}
+	}
+}
+
+// settle decides the request and sends cancel messages for any still-racing
+// attempts; their eventual reports release the router slots.
+func (c *ShardedCluster) settle(r *ShardedRequest, dev int, err error) {
+	r.settled = true
+	r.Err = err
+	r.FinishAt = c.shards.Env(0).Now()
+	if err == nil {
+		r.Device = dev
+		c.completed++
+		c.byModel[r.Model] = append(c.byModel[r.Model], r.Latency().Seconds())
+	} else {
+		c.failed++
+	}
+	for _, a := range r.pending {
+		op := agentOp{cancel: true, attempt: a.id}
+		agent := c.agents[a.dev]
+		c.shards.Send(0, a.dev+1, c.net, func() { agent.enqueue(op) })
+		c.rec.Instant(obs.LayerCluster, "cancel_loser", r.ID, int(r.Class), obs.NoDevice, int64(a.dev))
+	}
+}
+
+// armHedge schedules the request's hedge timer on the front-end heap: if the
+// request is still undecided after HedgeDelay, a duplicate is dispatched to
+// the next-best replica not already serving it.
+func (c *ShardedCluster) armHedge(r *ShardedRequest) {
+	c.shards.Env(0).Schedule(c.cfg.HedgeDelay, func() {
+		if r.settled || r.Hedged {
+			return
+		}
+		exclude := make([]int, 0, len(r.pending))
+		for _, a := range r.pending {
+			exclude = append(exclude, a.dev)
+		}
+		dev, err := c.router.RouteHedge(r.Model, exclude)
+		if err != nil {
+			return
+		}
+		r.Hedged = true
+		c.hedges++
+		c.hedgesC.Inc()
+		c.rec.Instant(obs.LayerCluster, "hedge", r.ID, int(r.Class), obs.NoDevice, int64(dev))
+		c.dispatch(r, dev, true)
+	})
+}
+
+// stallReported runs on shard 0 when a device's stall report arrives: the
+// device leaves rotation until the stall clears (it already drained itself).
+func (c *ShardedCluster) stallReported(dev int, until sim.Time) {
+	c.router.MarkDown(dev, until)
+	env := c.shards.Env(0)
+	if until > env.Now() {
+		env.Schedule(until.Sub(env.Now()), func() {
+			if !c.router.Down(dev) {
+				c.router.MarkUp(dev)
+			}
+		})
+	}
+}
+
+// Engine returns which execution engine the cluster runs on.
+func (c *ShardedCluster) Engine() Engine { return c.engine }
+
+// FrontEnv returns shard 0's environment — schedule arrival generators here.
+func (c *ShardedCluster) FrontEnv() *sim.Env { return c.shards.Env(0) }
+
+// Router exposes the routing layer (decision log, health controls).
+func (c *ShardedCluster) Router() *Router { return c.router }
+
+// Server returns device i's serving front-end.
+func (c *ShardedCluster) Server(i int) *serving.Server { return c.servers[i] }
+
+// Devices returns the fleet size.
+func (c *ShardedCluster) Devices() int { return len(c.servers) }
+
+// Requests returns all cluster-level requests submitted so far; nil in Slim
+// mode, which does not retain them.
+func (c *ShardedCluster) Requests() []*ShardedRequest { return c.requests }
+
+// Run executes the simulation to completion across all shards.
+func (c *ShardedCluster) Run() error { return c.shards.Run() }
+
+// Shutdown terminates remaining processes on every shard. Call once after
+// Run.
+func (c *ShardedCluster) Shutdown() { c.shards.Shutdown() }
+
+// FinishObs folds the per-shard recorders onto cfg.Obs under one boundary
+// label. Call once after Run; a no-op when recording is off.
+func (c *ShardedCluster) FinishObs(label string) {
+	if c.cfg.Obs == nil {
+		return
+	}
+	c.cfg.Obs.Merge(label, c.children)
+}
+
+// Stats summarises the cluster's activity so far. Rates use the shard
+// horizon (the latest virtual time any shard reached) as the elapsed-time
+// denominator; per-device utilization is normalized to the same horizon so
+// both engines report identical values.
+func (c *ShardedCluster) Stats() Stats {
+	st := Stats{Devices: len(c.servers), Failovers: c.failovers, Hedges: c.hedges, HedgeWins: c.hedgeWins}
+	now := c.shards.Horizon()
+	for _, srv := range c.servers {
+		ds := srv.Stats()
+		util := 0.0
+		if now > 0 {
+			util = srv.Device().TotalBusy().Seconds() / now.Seconds()
+		}
+		ds.Utilization = util
+		st.PerDevice = append(st.PerDevice, ds)
+		st.Degraded.Merge(ds.Degraded)
+		st.Utilization = append(st.Utilization, util)
+	}
+	st.Requests = c.reqCount
+	st.Completed = c.completed
+	st.Failed = c.failed
+	names := make([]string, 0, len(c.byModel))
+	for name := range c.byModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.PerModel = append(st.PerModel, serving.ModelLatency{
+			Model: name, Latency: metrics.PercentilesOf(c.byModel[name]),
+		})
+	}
+	if now > 0 {
+		st.Goodput = float64(st.Completed) / now.Seconds()
+	}
+	st.Decisions = c.router.Count()
+	st.DecisionHash = c.router.DecisionHash()
+	return st
+}

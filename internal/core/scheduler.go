@@ -24,6 +24,7 @@
 package core
 
 import (
+	"math/rand"
 	"time"
 
 	"olympian/internal/executor"
@@ -108,6 +109,7 @@ type Scheduler struct {
 	env *sim.Env
 	dev *gpu.Device
 	cfg Config
+	rng *rand.Rand // nil: fall back to the environment's shared source
 
 	profiles map[*graph.Graph]*JobProfile
 
@@ -300,6 +302,18 @@ func (s *Scheduler) rotate(current *jobState) {
 	s.grant(next)
 }
 
+// SetRand gives the scheduler a private random source in place of the
+// environment's shared one; see gpu.Device.SetRand.
+func (s *Scheduler) SetRand(r *rand.Rand) { s.rng = r }
+
+// rand returns the scheduler's random source.
+func (s *Scheduler) rand() *rand.Rand {
+	if s.rng != nil {
+		return s.rng
+	}
+	return s.env.Rand()
+}
+
 // pick asks the policy for the next holder.
 func (s *Scheduler) pick(last *executor.Job) *jobState {
 	if len(s.jobs) == 0 {
@@ -309,7 +323,7 @@ func (s *Scheduler) pick(last *executor.Job) *jobState {
 	for i, js := range s.jobs {
 		active[i] = js.job
 	}
-	chosen := s.cfg.Policy.Grant(s.env.Rand(), active, last)
+	chosen := s.cfg.Policy.Grant(s.rand(), active, last)
 	if chosen == nil {
 		return nil
 	}

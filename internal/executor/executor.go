@@ -14,6 +14,7 @@ package executor
 
 import (
 	"fmt"
+	"math/rand"
 	"strconv"
 	"time"
 
@@ -163,6 +164,7 @@ type Engine struct {
 	cfg   Config
 	hooks Hooks
 	pool  *ThreadPool
+	rng   *rand.Rand // nil: fall back to the environment's shared source
 
 	jobSeq        int
 	taxOf         map[*graph.Graph]float64
@@ -421,13 +423,25 @@ func (e *Engine) profilingFactor(g *graph.Graph) float64 {
 	return f
 }
 
+// SetRand gives the engine a private random source in place of the
+// environment's shared one; see gpu.Device.SetRand.
+func (e *Engine) SetRand(r *rand.Rand) { e.rng = r }
+
+// rand returns the engine's random source.
+func (e *Engine) rand() *rand.Rand {
+	if e.rng != nil {
+		return e.rng
+	}
+	return e.env.Rand()
+}
+
 // jittered perturbs d by the configured relative noise, never below 20% of
 // the nominal duration.
 func (e *Engine) jittered(d time.Duration) time.Duration {
 	if e.cfg.Jitter <= 0 || d <= 0 {
 		return d
 	}
-	f := 1 + e.env.Rand().NormFloat64()*e.cfg.Jitter
+	f := 1 + e.rand().NormFloat64()*e.cfg.Jitter
 	if f < 0.2 {
 		f = 0.2
 	}

@@ -42,6 +42,7 @@ func Registry() []Entry {
 		{"chaos", "Chaos: fairness and tails under injected faults", Chaos},
 		{"cluster", "Extension: multi-GPU cluster serving", Cluster},
 		{"overload", "Overload control: adaptive admission, priority shedding, hedging", Overload},
+		{"sharded", "Parallel simulation core: sharded engines, identity and scale", Sharded},
 	}
 }
 

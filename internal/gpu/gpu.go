@@ -27,6 +27,7 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"strconv"
 	"time"
 
@@ -128,6 +129,7 @@ type stream struct {
 type Device struct {
 	env  *sim.Env
 	spec Spec
+	rng  *rand.Rand // nil: fall back to the environment's shared source
 
 	streams     map[int]*stream
 	order       []int // stream ids in first-seen order, for determinism
@@ -238,6 +240,20 @@ func (d *Device) Submit(k *Kernel) *sim.Event {
 // kernels keep running). Call it once, before the run starts.
 func (d *Device) InjectFaults(in *faults.Injector) { d.inj = in }
 
+// SetRand gives the device a private random source in place of the
+// environment's shared one. A sharded cluster isolates each device stack's
+// draws this way so that the draw sequence depends only on the device's own
+// event order — a prerequisite for engine-independent determinism.
+func (d *Device) SetRand(r *rand.Rand) { d.rng = r }
+
+// rand returns the device's random source.
+func (d *Device) rand() *rand.Rand {
+	if d.rng != nil {
+		return d.rng
+	}
+	return d.env.Rand()
+}
+
 // SetStallObserver registers a callback invoked at the start of each
 // injected driver stall with the time at which admission reopens. A cluster
 // router uses it to drain the device and fail requests over to surviving
@@ -288,7 +304,7 @@ func (d *Device) drawWeight() float64 {
 	if d.spec.StreamBias <= 0 {
 		return 1
 	}
-	return math.Exp(d.env.Rand().NormFloat64() * d.spec.StreamBias)
+	return math.Exp(d.rand().NormFloat64() * d.spec.StreamBias)
 }
 
 // SwitchBarrier models the cost of a gang switch at the device: kernels
@@ -383,7 +399,7 @@ func (d *Device) pump() {
 		}
 		pick := cands[0]
 		if len(cands) > 1 {
-			r := d.env.Rand().Float64() * total
+			r := d.rand().Float64() * total
 			for _, st := range cands {
 				r -= st.weight
 				if r < 0 {

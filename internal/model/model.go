@@ -37,6 +37,11 @@ const (
 	ResNet50  = "resnet-50"
 	ResNet101 = "resnet-101"
 	ResNet152 = "resnet-152"
+	// Micro is a deliberately tiny synthetic model — a couple dozen nodes
+	// instead of ~15k — for scale experiments and benchmarks that push
+	// millions of requests through a cluster. It is not part of the paper's
+	// zoo and is excluded from Names (and thus from Table 2 calibration).
+	Micro = "micro"
 )
 
 // def holds the per-architecture calibration constants.
@@ -118,6 +123,13 @@ var defs = map[string]def{
 		stages: 50, branches: 2, alpha: 1.3,
 		weightsBytes: 230 << 20, workspaceBase: 20 << 20, workspacePerIm: 600 << 10,
 		seed: 107,
+	},
+	Micro: {
+		name: Micro, tableBatch: 8, tableNodes: 26, tableGPU: 14,
+		tableRuntime: 1200 * time.Microsecond, chainLen: 2, chainGPU: 1,
+		stages: 2, branches: 1, alpha: 1.0,
+		weightsBytes: 1 << 20, workspaceBase: 1 << 20, workspacePerIm: 64 << 10,
+		seed: 108,
 	},
 }
 

@@ -16,7 +16,11 @@
 // on (BenchmarkObsDisabled guards this).
 package obs
 
-import "olympian/internal/sim"
+import (
+	"sort"
+
+	"olympian/internal/sim"
+)
 
 // Layer identifies which layer of the stack recorded an event.
 type Layer uint8
@@ -196,6 +200,139 @@ func (r *Recorder) Bind(env *sim.Env, label string) {
 	}
 	r.env = env
 	r.Instant(LayerHarness, label, NoReq, NoClass, NoDevice, 0)
+}
+
+// Attach binds the recorder to env without shifting the time base or
+// recording a boundary instant. Child recorders use it: the parent assigns
+// the single shared time base when it later splices or merges them.
+func (r *Recorder) Attach(env *sim.Env) {
+	if r == nil {
+		return
+	}
+	r.env = env
+}
+
+// NewChild returns a fresh recorder inheriting this recorder's layer mute
+// mask, with its own registry and an unshifted time base. Children record
+// one run (or one shard of a run) in isolation — safe to drive from a
+// worker goroutine — and are folded back with Splice or Merge.
+func (r *Recorder) NewChild() *Recorder {
+	if r == nil {
+		return nil
+	}
+	c := NewRecorder()
+	c.off = r.off
+	return c
+}
+
+// Splice appends child's records onto this recorder's timeline exactly as
+// if the child's run had been recorded here directly: the base shifts past
+// everything recorded so far (Bind's rule), the child's spans and instants
+// land shifted by that base in their recorded order, per-request span
+// counters continue from the parent's, and the child's metrics are absorbed
+// into the parent registry. Splicing children in run order therefore
+// reproduces the serial single-recorder trace byte-for-byte.
+func (r *Recorder) Splice(child *Recorder) {
+	if r == nil || child == nil {
+		return
+	}
+	r.env = nil
+	if len(r.spans) > 0 || len(r.points) > 0 {
+		r.base = r.maxT + runGap
+	}
+	for _, s := range child.spans {
+		s.Seq += r.reqSeq[s.Req]
+		// An open span (End < Start) keeps its zero End so Trace() still
+		// clamps it to the final horizon, exactly as the serial path would.
+		open := s.End < s.Start
+		s.Start += r.base
+		if !open {
+			s.End += r.base
+		}
+		r.spans = append(r.spans, s)
+	}
+	for _, p := range child.points {
+		p.At += r.base
+		r.points = append(r.points, p)
+	}
+	for req, cnt := range child.reqSeq {
+		r.reqSeq[req] += cnt
+	}
+	r.note(r.base + child.maxT)
+	r.Metrics.Absorb(child.Metrics)
+}
+
+// Merge folds concurrent children — the per-shard recorders of one sharded
+// run — onto this recorder's timeline under a single base shift, recording
+// a run-boundary instant carrying label first (Bind's role for a sharded
+// run). Records interleave by (time, child index, child record index) and
+// per-request span counters are reassigned in that merged order, so the
+// result is a pure function of the children's contents: engines that
+// produce identical shard recordings produce identical merged traces.
+//
+// Metrics absorb in child order: counters sum; a gauge takes the value of
+// the last child that set it (per-device gauge labels keep that unambiguous).
+func (r *Recorder) Merge(label string, children []*Recorder) {
+	if r == nil {
+		return
+	}
+	r.env = nil
+	if len(r.spans) > 0 || len(r.points) > 0 {
+		r.base = r.maxT + runGap
+	}
+	r.Instant(LayerHarness, label, NoReq, NoClass, NoDevice, 0)
+	type ref struct {
+		t     sim.Time
+		child int
+		idx   int
+	}
+	var spanRefs, pointRefs []ref
+	for c, ch := range children {
+		if ch == nil {
+			continue
+		}
+		for i, s := range ch.spans {
+			spanRefs = append(spanRefs, ref{s.Start, c, i})
+		}
+		for i, p := range ch.points {
+			pointRefs = append(pointRefs, ref{p.At, c, i})
+		}
+		r.note(r.base + ch.maxT)
+	}
+	byTime := func(refs []ref) func(i, j int) bool {
+		return func(i, j int) bool {
+			if refs[i].t != refs[j].t {
+				return refs[i].t < refs[j].t
+			}
+			if refs[i].child != refs[j].child {
+				return refs[i].child < refs[j].child
+			}
+			return refs[i].idx < refs[j].idx
+		}
+	}
+	sort.Slice(spanRefs, byTime(spanRefs))
+	sort.Slice(pointRefs, byTime(pointRefs))
+	for _, ref := range spanRefs {
+		s := children[ref.child].spans[ref.idx]
+		s.Seq = r.reqSeq[s.Req]
+		r.reqSeq[s.Req] = s.Seq + 1
+		open := s.End < s.Start
+		s.Start += r.base
+		if !open {
+			s.End += r.base
+		}
+		r.spans = append(r.spans, s)
+	}
+	for _, ref := range pointRefs {
+		p := children[ref.child].points[ref.idx]
+		p.At += r.base
+		r.points = append(r.points, p)
+	}
+	for _, ch := range children {
+		if ch != nil {
+			r.Metrics.Absorb(ch.Metrics)
+		}
+	}
 }
 
 // now returns the current trace time: the bound environment's virtual

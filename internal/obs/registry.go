@@ -36,6 +36,9 @@ type family struct {
 type Series struct {
 	labels string // rendered `{k="v",...}` suffix, "" when unlabeled
 	bits   atomic.Uint64
+	// touched marks a series ever written, so Absorb can tell a gauge that
+	// was set to zero apart from one never set at all.
+	touched atomic.Bool
 }
 
 // NewRegistry returns an empty registry.
@@ -81,7 +84,10 @@ func renderLabels(kv []string) string {
 }
 
 func (f *family) get(kv []string) *Series {
-	key := renderLabels(kv)
+	return f.getByKey(renderLabels(kv))
+}
+
+func (f *family) getByKey(key string) *Series {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := f.series[key]
@@ -116,6 +122,7 @@ func (s *Series) Add(delta float64) {
 	if s == nil {
 		return
 	}
+	s.touched.Store(true)
 	for {
 		old := s.bits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + delta)
@@ -133,6 +140,7 @@ func (s *Series) Set(v float64) {
 	if s == nil {
 		return
 	}
+	s.touched.Store(true)
 	s.bits.Store(math.Float64bits(v))
 }
 
@@ -198,6 +206,46 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Absorb folds other's series into this registry: counter values add and a
+// gauge takes other's value when other ever wrote it (a child that never
+// touched a gauge must not clobber the parent's). Families and series are
+// created as needed, in other's registration order, so absorbing children
+// deterministically reproduces the registry a single shared recorder would
+// have built — rendered output is sorted either way.
+func (g *Registry) Absorb(other *Registry) {
+	if g == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	names := append([]string(nil), other.order...)
+	other.mu.Unlock()
+	for _, name := range names {
+		other.mu.Lock()
+		of := other.families[name]
+		other.mu.Unlock()
+		f := g.family(of.name, of.help, of.counter)
+		of.mu.Lock()
+		keys := append([]string(nil), of.order...)
+		of.mu.Unlock()
+		for _, k := range keys {
+			of.mu.Lock()
+			os := of.series[k]
+			of.mu.Unlock()
+			// Register the series even when untouched: a shared recorder
+			// renders zero-valued registered series, so the fold must too.
+			s := f.getByKey(k)
+			if !os.touched.Load() {
+				continue
+			}
+			if of.counter {
+				s.Add(os.Value())
+			} else {
+				s.Set(os.Value())
+			}
+		}
+	}
 }
 
 // Snapshot returns every series value keyed by "name{labels}". Experiments

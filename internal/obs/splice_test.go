@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"olympian/internal/sim"
+)
+
+// spliceWorkload records one synthetic run against env: spans (one left
+// open), instants, and some metrics. i varies the shape per run.
+func spliceWorkload(r *Recorder, env *sim.Env, i int) {
+	c := r.Registry().Counter("test_ops_total", "Ops.", "run", "all")
+	g := r.Registry().Gauge("test_level", "Level.", "run", "all")
+	env.Go("w", func(p *sim.Proc) {
+		for req := 0; req <= i; req++ {
+			id := r.StartSpan(LayerServing, "queue", req, 1, 0, int64(i))
+			p.Sleep(time.Duration(i+1) * time.Millisecond)
+			r.EndSpan(id)
+			r.Instant(LayerServing, "tick", req, 1, 0, int64(req))
+			c.Inc()
+		}
+		g.Set(float64(i + 1))
+		r.StartSpan(LayerGPU, "open", NoReq, NoClass, 0, 0) // left open
+	})
+	if err := env.Run(); err != nil {
+		panic(err)
+	}
+	env.Shutdown()
+}
+
+// TestSpliceMatchesSerialBind: recording runs into private children and
+// splicing them in order must reproduce the serial shared-recorder trace
+// and metrics byte-for-byte — the contract the parallel RunMany path
+// relies on.
+func TestSpliceMatchesSerialBind(t *testing.T) {
+	const runs = 3
+	serial := NewRecorder()
+	serial.MuteLayer(LayerExecutor)
+	for i := 0; i < runs; i++ {
+		env := sim.NewEnv(int64(i))
+		serial.Bind(env, fmt.Sprintf("run:%d", i))
+		spliceWorkload(serial, env, i)
+	}
+
+	parent := NewRecorder()
+	parent.MuteLayer(LayerExecutor)
+	children := make([]*Recorder, runs)
+	for i := 0; i < runs; i++ {
+		children[i] = parent.NewChild()
+		env := sim.NewEnv(int64(i))
+		children[i].Bind(env, fmt.Sprintf("run:%d", i))
+		spliceWorkload(children[i], env, i)
+	}
+	for _, c := range children {
+		parent.Splice(c)
+	}
+
+	if !reflect.DeepEqual(serial.Trace(), parent.Trace()) {
+		t.Errorf("spliced trace differs from serial trace\nserial spans: %+v\nspliced spans: %+v",
+			serial.Trace().Spans, parent.Trace().Spans)
+	}
+	var a, b bytes.Buffer
+	if err := serial.Registry().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("spliced metrics differ from serial:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestMergeDeterministic: merging concurrent shard children is a pure
+// function of their contents — same children, same merged trace — and
+// colliding request IDs across children get disjoint span sequence numbers.
+func TestMergeDeterministic(t *testing.T) {
+	build := func() []*Recorder {
+		parent := NewRecorder()
+		children := make([]*Recorder, 2)
+		for c := range children {
+			children[c] = parent.NewChild()
+			env := sim.NewEnv(int64(c))
+			children[c].Attach(env)
+			// Both children record request 0 — the cross-shard collision.
+			spliceWorkload(children[c], env, 0)
+		}
+		return children
+	}
+	merge := func(children []*Recorder) *Recorder {
+		parent := NewRecorder()
+		parent.Merge("run:sharded", children)
+		return parent
+	}
+	m1, m2 := merge(build()), merge(build())
+	if !reflect.DeepEqual(m1.Trace(), m2.Trace()) {
+		t.Error("merged traces differ across identical merges")
+	}
+	seen := map[[2]int64]bool{}
+	for _, s := range m1.Trace().Spans {
+		key := [2]int64{int64(s.Req), int64(s.Seq)}
+		if s.Req >= 0 && seen[key] {
+			t.Fatalf("duplicate span identity after merge: req=%d seq=%d", s.Req, s.Seq)
+		}
+		seen[key] = true
+	}
+	if m1.Trace().Instants[0].Name != "run:sharded" {
+		t.Fatalf("merge boundary instant missing, got %+v", m1.Trace().Instants[0])
+	}
+}
+
+// TestAbsorbRules: counters add, set gauges overwrite, untouched gauges
+// neither overwrite nor vanish (they register at zero like the shared path).
+func TestAbsorbRules(t *testing.T) {
+	parent := NewRegistry()
+	parent.Counter("c_total", "c").Add(5)
+	parent.Gauge("g", "g").Set(3)
+
+	child := NewRegistry()
+	child.Counter("c_total", "c").Add(2)
+	child.Gauge("g", "g")              // registered, never set
+	child.Gauge("h", "h")              // new, untouched: must register at 0
+	child.Gauge("set_g", "sg").Set(9) // touched
+
+	parent.Absorb(child)
+	snap := parent.Snapshot()
+	if snap["c_total"] != 7 {
+		t.Errorf("counter absorb: got %v, want 7", snap["c_total"])
+	}
+	if snap["g"] != 3 {
+		t.Errorf("untouched child gauge clobbered parent: got %v", snap["g"])
+	}
+	if v, ok := snap["h"]; !ok || v != 0 {
+		t.Errorf("untouched new gauge not registered at zero: %v %v", v, ok)
+	}
+	if snap["set_g"] != 9 {
+		t.Errorf("set gauge: got %v, want 9", snap["set_g"])
+	}
+}

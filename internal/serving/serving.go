@@ -12,6 +12,7 @@ package serving
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"time"
@@ -164,6 +165,17 @@ type Config struct {
 	// Device is this server's device index in the Obs track layout (the
 	// cluster layer numbers its replicas; standalone servers are 0).
 	Device int
+	// IsolateRand gives the device, executor, and scheduler a private random
+	// stream derived from Seed instead of the environment's shared source, so
+	// this stack's draw sequence depends only on its own event order. The
+	// sharded cluster requires it: with a shared source, co-resident stacks'
+	// draws would interleave differently between engines.
+	IsolateRand bool
+	// Slim disables per-request retention: Requests returns nil and Stats is
+	// computed from streaming tallies, so multi-million-request sweeps hold
+	// memory proportional to the completed-latency samples only. Stats are
+	// identical to the retained path.
+	Slim bool
 }
 
 // Validate rejects configurations that are explicit nonsense rather than
@@ -247,8 +259,17 @@ type Server struct {
 	limiters map[string]*overload.Limiter
 
 	requests []*Request
+	reqCount int
 	batches  int
 	clients  int
+
+	// Slim-mode streaming tallies, mirroring what Stats derives from the
+	// retained request slice on the normal path.
+	slimCompleted int
+	slimFailed    int
+	slimSizes     int
+	slimLats      []float64
+	slimByModel   map[string][]float64
 
 	retryLeft int
 	degraded  metrics.Degraded
@@ -325,6 +346,9 @@ func NewServer(env *sim.Env, cfg Config) (*Server, error) {
 		retryLeft: cfg.RetryBudget,
 		build:     model.Build,
 	}
+	if cfg.Slim {
+		s.slimByModel = make(map[string][]float64)
+	}
 	s.rec = cfg.Obs
 	s.obsDev = cfg.Device
 	reg := cfg.Obs.Registry()
@@ -354,6 +378,18 @@ func NewServer(env *sim.Env, cfg Config) (*Server, error) {
 		Jitter: cfg.Jitter, Faults: cfg.Faults,
 		Obs: cfg.Obs, Device: cfg.Device,
 	}, hooks)
+	if cfg.IsolateRand {
+		// One private stream per stack: its draws (stream weights, driver
+		// picks, kernel jitter, policy tie-breaks) all happen in this
+		// stack's own event order, which both cluster engines replay
+		// identically.
+		r := rand.New(rand.NewSource(cfg.Seed + 811))
+		dev.SetRand(r)
+		s.eng.SetRand(r)
+		if s.sched != nil {
+			s.sched.SetRand(r)
+		}
+	}
 	return s, nil
 }
 
@@ -422,7 +458,7 @@ func (s *Server) SubmitClass(p *sim.Proc, modelName string, class overload.Class
 		return nil, err
 	}
 	req := &Request{
-		ID:       len(s.requests),
+		ID:       s.reqCount,
 		Model:    modelName,
 		Class:    class,
 		ArriveAt: p.Now(),
@@ -431,7 +467,10 @@ func (s *Server) SubmitClass(p *sim.Proc, modelName string, class overload.Class
 	if s.cfg.Deadline > 0 {
 		req.Deadline = req.ArriveAt.Add(s.cfg.Deadline)
 	}
-	s.requests = append(s.requests, req)
+	s.reqCount++
+	if !s.cfg.Slim {
+		s.requests = append(s.requests, req)
+	}
 	s.degraded.ByClass[class].Submitted++
 	if _, ok := s.flushers[modelName]; !ok {
 		s.startBatcher(modelName)
@@ -542,6 +581,10 @@ func (s *Server) evictLower(modelName string, class overload.Class) bool {
 // Wait blocks p until the request's batch has completed.
 func (r *Request) Wait(p *sim.Proc) { r.done.Wait(p) }
 
+// Done returns the request's completion event. Cross-shard forwarders
+// subscribe to it instead of spawning a waiter process per attempt.
+func (r *Request) Done() *sim.Event { return r.done }
+
 // startBatcher spawns the per-model batching loop: it flushes when the
 // queue is full or the oldest request has waited past the timeout.
 func (s *Server) startBatcher(modelName string) {
@@ -583,6 +626,9 @@ func (s *Server) fail(r *Request, err error) {
 		s.failReasonC[reason].Inc()
 	}
 	s.releaseSlot(r)
+	if s.cfg.Slim {
+		s.slimFailed++
+	}
 	r.done.Trigger()
 }
 
@@ -800,6 +846,13 @@ func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Re
 		} else if lim != nil {
 			lim.OnSuccess()
 		}
+		if s.cfg.Slim {
+			lat := r.Latency().Seconds()
+			s.slimCompleted++
+			s.slimLats = append(s.slimLats, lat)
+			s.slimByModel[r.Model] = append(s.slimByModel[r.Model], lat)
+			s.slimSizes += r.BatchSize
+		}
 		r.done.Trigger()
 	}
 }
@@ -827,15 +880,22 @@ func (s *Server) graphFor(modelName string, batch int) (*graph.Graph, error) {
 	return g, nil
 }
 
-// Requests returns all requests submitted so far.
+// Requests returns all requests submitted so far; nil in Slim mode, which
+// does not retain them.
 func (s *Server) Requests() []*Request { return s.requests }
 
 // Stats summarises completed requests.
 func (s *Server) Stats() Stats {
-	st := Stats{Requests: len(s.requests), Batches: s.batches}
+	st := Stats{Requests: s.reqCount, Batches: s.batches}
 	var lats []float64
 	var sizes int
 	byModel := make(map[string][]float64)
+	if s.cfg.Slim {
+		st.Completed, st.Failed = s.slimCompleted, s.slimFailed
+		lats = append(lats, s.slimLats...)
+		byModel = s.slimByModel
+		sizes = s.slimSizes
+	}
 	for _, r := range s.requests {
 		if r.Failed() {
 			st.Failed++

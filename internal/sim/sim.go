@@ -171,6 +171,30 @@ func (e *Env) scheduleProc(d Duration, p *Proc) {
 // Stop halts the run after the current event completes.
 func (e *Env) Stop() { e.stopped = true }
 
+// Stopped reports whether Stop has been called.
+func (e *Env) Stopped() bool { return e.stopped }
+
+// NextEventTime returns the timestamp of the earliest queued event, or false
+// when the queue is empty. Shard coordinators use it to compute the global
+// lower-bound barrier without disturbing the queue.
+func (e *Env) NextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// ScheduleAt runs fn at absolute virtual time t (clamped to the present).
+// Cross-shard mailboxes use it to deliver messages stamped with an arrival
+// time computed on the sending shard's clock.
+func (e *Env) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
 // Proc is a simulated thread of control backed by a goroutine.
 type Proc struct {
 	env    *Env
@@ -371,6 +395,27 @@ func (e *Env) RunUntil(t Time) error {
 	return e.Run()
 }
 
+// RunWindow executes events up to and including time t like RunUntil, but
+// performs no deadlock check: a sharded sub-environment may legitimately go
+// idle with parked processes while it waits for cross-shard messages, so the
+// shard coordinator owns the global stuck check (see StuckError).
+func (e *Env) RunWindow(t Time) {
+	e.limit = t
+	e.runLoop(nil, false)
+	e.limit = 0
+}
+
+// StuckError returns the deadlock report for this environment's parked
+// processes, or nil when no non-daemon processes remain. Shard coordinators
+// call it once every sub-environment has drained and no messages are in
+// flight — the point at which parked processes really are stuck.
+func (e *Env) StuckError() error {
+	if e.stopped || e.live <= 0 {
+		return nil
+	}
+	return e.deadlockError()
+}
+
 func (e *Env) deadlockError() error {
 	type stuck struct {
 		name, why string
@@ -400,6 +445,7 @@ type Event struct {
 	env       *Env
 	triggered bool
 	waiters   []*Proc
+	subs      []func()
 }
 
 // NewEvent returns an untriggered event.
@@ -419,6 +465,22 @@ func (ev *Event) Trigger() {
 		ev.env.scheduleProc(0, p)
 	}
 	ev.waiters = nil
+	for _, fn := range ev.subs {
+		ev.env.Schedule(0, fn)
+	}
+	ev.subs = nil
+}
+
+// Subscribe registers fn to run in event context when the event triggers;
+// if it already has, fn is scheduled at the current time. Unlike Wait it
+// needs no process, so completion fan-out at scale costs no goroutine.
+// Callbacks run after any waiters scheduled by the same Trigger.
+func (ev *Event) Subscribe(fn func()) {
+	if ev.triggered {
+		ev.env.Schedule(0, fn)
+		return
+	}
+	ev.subs = append(ev.subs, fn)
 }
 
 // Wait blocks p until the event is triggered.

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 
+	"olympian/internal/obs"
 	"olympian/internal/par"
 )
 
@@ -33,24 +34,32 @@ type Outcome struct {
 // changes. Outcomes are returned in spec order regardless of completion
 // order.
 //
-// When any spec carries a lifecycle recorder (Config.Obs), the whole batch
-// runs serially instead: a recorder splices runs onto one timeline in bind
-// order, which concurrent execution would scramble. Results are unchanged
-// either way — only wall-clock time differs.
+// Specs carrying a lifecycle recorder (Config.Obs) run concurrently too:
+// each such run records into a private child recorder, and after the batch
+// completes the children are spliced onto the original recorders in spec
+// order. A recorder splice reproduces the serial bind rule exactly, so the
+// resulting trace and metrics are byte-identical to running the specs one
+// by one.
 func RunMany(specs []RunSpec) []Outcome {
 	out := make([]Outcome, len(specs))
-	for _, s := range specs {
+	children := make([]*obs.Recorder, len(specs))
+	run := make([]RunSpec, len(specs))
+	for i, s := range specs {
+		run[i] = s
 		if s.Config.Obs != nil {
-			for i := range specs {
-				out[i].Result, out[i].Err = Run(specs[i].Config, specs[i].Clients)
-			}
-			return out
+			children[i] = s.Config.Obs.NewChild()
+			run[i].Config.Obs = children[i]
 		}
 	}
-	par.For(len(specs), func(i int) error {
-		out[i].Result, out[i].Err = Run(specs[i].Config, specs[i].Clients)
+	par.For(len(run), func(i int) error {
+		out[i].Result, out[i].Err = Run(run[i].Config, run[i].Clients)
 		return nil
 	})
+	for i, c := range children {
+		if c != nil {
+			specs[i].Config.Obs.Splice(c)
+		}
+	}
 	return out
 }
 

@@ -1,12 +1,15 @@
 package workload
 
 import (
+	"bytes"
 	"reflect"
 	"runtime"
 	"testing"
 
 	"olympian/internal/gpu"
+	"olympian/internal/obs"
 	"olympian/internal/profiler"
+	"olympian/internal/trace"
 )
 
 // TestRunManyMatchesSerial is the parallel harness's determinism contract:
@@ -87,6 +90,65 @@ func TestRunManySharedStoreIsDeterministic(t *testing.T) {
 	}
 	if store.Len() != 1 {
 		t.Fatalf("store grew to %d entries during runs, want 1", store.Len())
+	}
+}
+
+// TestRunManyRecordingMatchesSerialTrace: specs observed by one shared
+// recorder run in parallel on child recorders; the spliced trace and
+// metrics must be byte-identical to what a serial loop binding the shared
+// recorder per run would have produced.
+func TestRunManyRecordingMatchesSerialTrace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	build := func(rec *obs.Recorder) []RunSpec {
+		var specs []RunSpec
+		for i, k := range []SchedulerKind{Vanilla, Olympian, Vanilla} {
+			specs = append(specs, RunSpec{
+				Config:  Config{Seed: int64(i + 1), Kind: k, Obs: rec},
+				Clients: smallClients(2, 1),
+			})
+		}
+		return specs
+	}
+	render := func(rec *obs.Recorder) (string, string) {
+		var tr, pm bytes.Buffer
+		if err := trace.WriteLifecycle(&tr, rec.Trace()); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Registry().WritePrometheus(&pm); err != nil {
+			t.Fatal(err)
+		}
+		return tr.String(), pm.String()
+	}
+
+	serialRec := obs.NewRecorder()
+	serialSpecs := build(serialRec)
+	serial := make([]*Result, len(serialSpecs))
+	for i, sp := range serialSpecs {
+		res, err := Run(sp.Config, sp.Clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+	serialTrace, serialProm := render(serialRec)
+
+	parRec := obs.NewRecorder()
+	outs := RunMany(build(parRec))
+	res, err := Results(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if !reflect.DeepEqual(serial[i], res[i]) {
+			t.Errorf("run %d: recorded parallel result differs from serial", i)
+		}
+	}
+	parTrace, parProm := render(parRec)
+	if serialTrace != parTrace {
+		t.Error("parallel-recorded lifecycle trace is not byte-identical to serial")
+	}
+	if serialProm != parProm {
+		t.Errorf("parallel-recorded metrics differ from serial:\n%s\nvs\n%s", serialProm, parProm)
 	}
 }
 

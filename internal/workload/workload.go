@@ -139,7 +139,9 @@ type Config struct {
 	// recorder is bound to the run's environment at start; one recorder
 	// may observe several sequential runs. Nil keeps the zero-cost
 	// disabled path. A run with Obs set must not execute concurrently
-	// with other runs sharing the recorder (RunMany refuses to).
+	// with other runs sharing the recorder; RunMany keeps its parallelism
+	// by recording each run into a private child recorder and splicing
+	// the children back in spec order.
 	Obs *obs.Recorder
 }
 
