@@ -348,6 +348,14 @@ func (a *api) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.expC.Inc()
+	// Fold the report's machine-readable metrics into the registry so scrape
+	// dashboards see experiment outcomes (e.g. recovery MTTR, availability,
+	// invariant violations) without parsing the JSON response.
+	for name, v := range rep.Metrics {
+		a.metrics.Gauge("olympian_experiment_metric",
+			"Latest value of each experiment-report metric, labeled by experiment and metric name.",
+			"experiment", rep.ID, "metric", name).Set(v)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id":      rep.ID,
 		"title":   rep.Title,

@@ -94,6 +94,11 @@ func TestExperimentEndpoints(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("unknown experiment status %d", rec.Code)
 	}
+	// A run's report metrics must land in the scrape output as labeled gauges.
+	rec, _ = do(t, h, "GET", "/metrics", "")
+	if body := rec.Body.String(); !strings.Contains(body, `olympian_experiment_metric{experiment="fig4",metric=`) {
+		t.Fatalf("experiment metrics not exported as gauges:\n%s", body)
+	}
 }
 
 func TestPlanEndpoint(t *testing.T) {

@@ -73,6 +73,17 @@ type Config struct {
 	// Admission forwards an AIMD adaptive-admission config to every
 	// device's serving front-end (nil = static queue bounds only).
 	Admission *overload.AIMDConfig
+	// H2DBandwidth is the modeled host-to-device copy bandwidth in bytes
+	// per second, used to charge replica warm-up after a crash: reviving a
+	// device re-copies every placed replica's weights (default
+	// DefaultH2DBandwidth, PCIe 3.0 x16 class).
+	H2DBandwidth float64
+	// WarmupBase is the fixed restart overhead added to the weight-copy
+	// time on revival — driver/runtime re-initialization (default 2ms).
+	WarmupBase time.Duration
+	// TestStrandDrainNth forwards the serving layer's deliberate drain bug
+	// to every device; see serving.Config.TestStrandDrainNth. Test-only.
+	TestStrandDrainNth int
 	// Profiles caches the offline profiles the cost-weighted router and
 	// the placement planner read; a private store is used when nil.
 	Profiles *profiler.Store
@@ -121,7 +132,41 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Profiles == nil {
 		cfg.Profiles = profiler.NewStore()
 	}
+	if cfg.H2DBandwidth <= 0 {
+		cfg.H2DBandwidth = DefaultH2DBandwidth
+	}
+	if cfg.WarmupBase <= 0 {
+		cfg.WarmupBase = DefaultWarmupBase
+	}
 	return cfg
+}
+
+// DefaultH2DBandwidth is the modeled host-to-device copy bandwidth used to
+// charge crash-recovery warm-up: ~12 GB/s, PCIe 3.0 x16 sustained.
+const DefaultH2DBandwidth = 12e9
+
+// DefaultWarmupBase is the fixed restart overhead of a replica revival
+// before any weights are copied.
+const DefaultWarmupBase = 2 * time.Millisecond
+
+// warmupFor models the cost of resurrecting device: a fixed restart
+// overhead plus re-copying the weights of every replica placed there over
+// the modeled H2D link. Without a placement plan only the base applies (the
+// fleet serves models lazily, so there is nothing definite to pre-copy).
+func warmupFor(cfg Config, device int) time.Duration {
+	warm := cfg.WarmupBase
+	if cfg.Placement == nil {
+		return warm
+	}
+	for _, r := range cfg.Placement.Replicas {
+		if r.Device != device {
+			continue
+		}
+		if bytes, err := model.MemoryBytes(r.Model, r.Batch); err == nil {
+			warm += time.Duration(float64(bytes) / cfg.H2DBandwidth * float64(time.Second))
+		}
+	}
+	return warm
 }
 
 // debtUnit builds the cost-weighted router's per-request debt oracle for a
@@ -172,17 +217,21 @@ type Cluster struct {
 	servers []*serving.Server
 	router  *Router
 
-	requests  []*Request
-	failovers int
-	hedges    int
-	hedgeWins int
+	requests   []*Request
+	failovers  int
+	hedges     int
+	hedgeWins  int
+	partitions int
 
-	rec        *obs.Recorder
-	routesC    *obs.Series
-	failoversC *obs.Series
-	hedgesC    *obs.Series
-	hedgeWinsC *obs.Series
-	drainsC    *obs.Series
+	rec         *obs.Recorder
+	routesC     *obs.Series
+	failoversC  *obs.Series
+	hedgesC     *obs.Series
+	hedgeWinsC  *obs.Series
+	drainsC     *obs.Series
+	crashesC    *obs.Series
+	revivesC    *obs.Series
+	partitionsC *obs.Series
 }
 
 // Request is one cluster-level inference request. It survives failover
@@ -238,6 +287,9 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 	c.hedgesC = reg.Counter("olympian_cluster_hedges_total", "Hedged duplicates dispatched.")
 	c.hedgeWinsC = reg.Counter("olympian_cluster_hedge_wins_total", "Races won by the hedge.")
 	c.drainsC = reg.Counter("olympian_cluster_drains_total", "Devices drained on stall.")
+	c.crashesC = reg.Counter("olympian_cluster_crashes_total", "Devices crashed permanently or pending restart.")
+	c.revivesC = reg.Counter("olympian_cluster_revives_total", "Replicas re-admitted after restart warm-up.")
+	c.partitionsC = reg.Counter("olympian_cluster_partitions_total", "Router-device partition windows begun.")
 	c.router = newRouter(env, len(cfg.Devices), cfg.Route, debtUnit(cfg))
 	if err := applyPlacement(c.router, cfg.Placement, len(cfg.Devices)); err != nil {
 		return nil, err
@@ -257,11 +309,12 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 			BatchTimeout: cfg.BatchTimeout,
 			MaxQueue:     cfg.MaxQueue,
 			Deadline:     cfg.Deadline,
-			Seed:         cfg.Seed + int64(i)*101,
-			Faults:       inj,
-			Admission:    cfg.Admission,
-			Obs:          cfg.Obs,
-			Device:       i,
+			Seed:               cfg.Seed + int64(i)*101,
+			Faults:             inj,
+			Admission:          cfg.Admission,
+			Obs:                cfg.Obs,
+			Device:             i,
+			TestStrandDrainNth: cfg.TestStrandDrainNth,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: device %d: %w", i, err)
@@ -272,8 +325,65 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 		dev.SetStallObserver(func(until sim.Time) {
 			c.failover(i, until)
 		})
+		dev.SetCrashObserver(func(recovery time.Duration) {
+			c.crashed(i, recovery, func(warm time.Duration) {
+				c.env.Schedule(recovery, func() { dev.Revive(warm) })
+			})
+		})
+		dev.SetReadyObserver(func() { c.ready(i) })
+		if inj != nil {
+			c.schedulePartitions(c.env, i, inj)
+		}
 	}
 	return c, nil
+}
+
+// crashed reacts to a device crash: the replica leaves rotation for good
+// (MarkDead — no timer resurrects it), its queued requests drain so waiters
+// re-dispatch to surviving replicas, and — when the crash plan includes a
+// restart — scheduleRevive arms the revival with the modeled warm-up after
+// the recovery delay. Both engines share this bookkeeping; they differ only
+// in which environment the revival timer runs on.
+func (c *Cluster) crashed(device int, recovery time.Duration, scheduleRevive func(warm time.Duration)) {
+	c.router.MarkDead(device)
+	drained := c.servers[device].DrainQueued()
+	c.drainsC.Inc()
+	c.crashesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "crash_drain", obs.NoReq, obs.NoClass, device, int64(drained))
+	if recovery > 0 {
+		scheduleRevive(warmupFor(c.cfg, device))
+	}
+}
+
+// ready re-admits a revived replica at the router.
+func (c *Cluster) ready(device int) {
+	c.router.Revive(device)
+	c.revivesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "revive", obs.NoReq, obs.NoClass, device, 0)
+}
+
+// schedulePartitions arms a device's router-partition windows on the
+// front-end environment: during a window the router routes around the
+// device exactly as for a transient stall, but nothing is drained — queued
+// and resident work keeps executing; only new arrivals detour. Windows are
+// read from the injector's precomputed schedule at construction, so
+// enabling partitions never perturbs any other random draw.
+func (c *Cluster) schedulePartitions(env *sim.Env, device int, inj *faults.Injector) {
+	for _, w := range inj.PartitionWindows() {
+		w := w
+		env.ScheduleAt(sim.Time(w.From), func() {
+			c.partitions++
+			c.partitionsC.Inc()
+			c.rec.Instant(obs.LayerCluster, "partition", obs.NoReq, obs.NoClass, device, int64(w.Dur))
+			until := sim.Time(w.From + w.Dur)
+			c.router.MarkDown(device, until)
+			env.Schedule(w.Dur, func() {
+				if !c.router.Down(device) {
+					c.router.MarkUp(device)
+				}
+			})
+		})
+	}
 }
 
 // workloadDefaultQuantum mirrors workload.DefaultQuantum without importing
@@ -297,6 +407,9 @@ func (c *Cluster) failover(device int, until sim.Time) {
 
 // Router exposes the routing layer (decision log, health controls).
 func (c *Cluster) Router() *Router { return c.router }
+
+// Requests returns all cluster-level requests submitted so far.
+func (c *Cluster) Requests() []*Request { return c.requests }
 
 // Server returns device i's serving front-end.
 func (c *Cluster) Server(i int) *serving.Server { return c.servers[i] }
@@ -486,6 +599,18 @@ type Stats struct {
 	Failed    int
 	// Failovers counts re-dispatches after drains.
 	Failovers int
+	// Crashes counts device crash events; Revives counts replicas
+	// re-admitted after restart warm-up; Partitions counts router-device
+	// partition windows begun.
+	Crashes    int
+	Revives    int
+	Partitions int
+	// MTTR is the revive-weighted mean time from crash to schedulable again
+	// across the fleet (zero with no completed recoveries).
+	MTTR time.Duration
+	// Unavailability is the fleet's downtime fraction: total device downtime
+	// over devices x elapsed time.
+	Unavailability float64
 	// Hedges counts hedged duplicates dispatched; HedgeWins counts races the
 	// hedge won. A request whose hedge was dispatched and lost still counts
 	// exactly once in Completed — losers are cancelled, never double-counted.
@@ -510,8 +635,10 @@ type Stats struct {
 
 // Stats summarises the cluster's activity so far.
 func (c *Cluster) Stats() Stats {
-	st := Stats{Devices: len(c.servers), Failovers: c.failovers, Hedges: c.hedges, HedgeWins: c.hedgeWins}
+	st := Stats{Devices: len(c.servers), Failovers: c.failovers, Hedges: c.hedges, HedgeWins: c.hedgeWins,
+		Partitions: c.partitions}
 	now := c.env.Now()
+	var totalDown, recovered time.Duration
 	for _, srv := range c.servers {
 		ds := srv.Stats()
 		st.PerDevice = append(st.PerDevice, ds)
@@ -521,6 +648,17 @@ func (c *Cluster) Stats() Stats {
 			util = srv.Device().TotalBusy().Seconds() / now.Seconds()
 		}
 		st.Utilization = append(st.Utilization, util)
+		dev := srv.Device()
+		st.Crashes += dev.Crashes()
+		st.Revives += dev.Revives()
+		totalDown += dev.DowntimeAt(now)
+		recovered += dev.MTTR() * time.Duration(dev.Revives())
+	}
+	if st.Revives > 0 {
+		st.MTTR = recovered / time.Duration(st.Revives)
+	}
+	if now > 0 && len(c.servers) > 0 {
+		st.Unavailability = totalDown.Seconds() / (float64(len(c.servers)) * now.Seconds())
 	}
 	byModel := make(map[string][]float64)
 	for _, r := range c.requests {

@@ -76,6 +76,37 @@ func shardedScenarios() []shardedScenario {
 			gap:    500 * time.Microsecond,
 		},
 		{
+			name: "crash",
+			cfg: func() Config {
+				return Config{
+					Seed:    31,
+					Devices: []gpu.Spec{gpu.GTX1080Ti, gpu.GTX1080Ti, gpu.GTX1080Ti, gpu.GTX1080Ti},
+					Faults: []*faults.Plan{
+						// Device 0: crash-with-restart, twice.
+						{CrashEvery: 12 * time.Millisecond, CrashRecovery: 10 * time.Millisecond, MaxCrashes: 2},
+						// Device 1: one permanent crash mid-run.
+						{Crashes: []faults.CrashEvent{{At: 20 * time.Millisecond}}},
+						// Device 2: a router-partition window (no drain).
+						{Partitions: []faults.Window{{From: 8 * time.Millisecond, Dur: 10 * time.Millisecond}}},
+						// Device 3: clean — every model keeps a live replica.
+						nil,
+					},
+					Placement: &planner.Placement{Replicas: []planner.Replica{
+						{Model: model.Inception, Batch: 1, Device: 0},
+						{Model: model.Inception, Batch: 1, Device: 1},
+						{Model: model.Inception, Batch: 1, Device: 3},
+						{Model: model.ResNet50, Batch: 1, Device: 1},
+						{Model: model.ResNet50, Batch: 1, Device: 2},
+						{Model: model.ResNet50, Batch: 1, Device: 3},
+					}},
+					BatchTimeout: 4 * time.Millisecond,
+				}
+			},
+			models: []string{model.Inception, model.ResNet50},
+			n:      60,
+			gap:    700 * time.Microsecond,
+		},
+		{
 			name: "overload",
 			cfg: func() Config {
 				return Config{
@@ -231,10 +262,49 @@ func TestShardedFailoverCompletes(t *testing.T) {
 	}
 }
 
+// TestShardedCrashRecovery: the crash scenario must exercise every recovery
+// mechanism — permanent death, crash-with-restart (warm-up charged, replica
+// re-admitted), and a partition window — while conserving every request, and
+// a same-seed rerun must be bit-identical. Cross-engine identity for the
+// same scenario is enforced by TestShardedEnginesBitIdentical.
+func TestShardedCrashRecovery(t *testing.T) {
+	sc := shardedScenarios()[2]
+	if sc.name != "crash" {
+		t.Fatalf("scenario order changed: got %q, want crash", sc.name)
+	}
+	st := runSharded(t, sc, Sharded, 0, false, nil)
+	if st.Crashes < 2 {
+		t.Fatalf("crashes = %d, want the restarting and the permanent device to fire", st.Crashes)
+	}
+	if st.Revives == 0 {
+		t.Fatal("no replica was revived; the restart path never engaged")
+	}
+	if st.Partitions == 0 {
+		t.Fatal("no partition window began")
+	}
+	if st.MTTR <= 0 {
+		t.Fatalf("MTTR = %v with %d revives", st.MTTR, st.Revives)
+	}
+	if st.Unavailability <= 0 {
+		t.Fatalf("unavailability = %v with a permanently dead device", st.Unavailability)
+	}
+	if st.Completed+st.Failed != st.Requests {
+		t.Fatalf("request conservation violated: %d completed + %d failed != %d submitted",
+			st.Completed, st.Failed, st.Requests)
+	}
+	if st.Completed == 0 {
+		t.Fatal("nothing completed despite two live replicas per model")
+	}
+	again := runSharded(t, sc, Sharded, 0, false, nil)
+	if !reflect.DeepEqual(st, again) {
+		t.Fatalf("same-seed recovery runs differ\nfirst: %+v\nagain: %+v", st, again)
+	}
+}
+
 // TestShardedHedgeRaces: hedged duplicates race and losers are cancelled
 // across shards without double-counting completions.
 func TestShardedHedgeRaces(t *testing.T) {
-	sc := shardedScenarios()[2]
+	sc := shardedScenarios()[3]
 	st := runSharded(t, sc, Sharded, 0, false, nil)
 	if st.Hedges == 0 {
 		t.Fatal("no hedge dispatched; scenario mistuned")

@@ -74,6 +74,11 @@ type Router struct {
 	debt        []float64 // accumulated T_j, in seconds, per device
 	debtUnit    func(modelName string) (time.Duration, error)
 	downUntil   []sim.Time
+	// dead marks permanently failed devices. Unlike downUntil — a transient
+	// state that expires on its own — dead is only cleared by an explicit
+	// Revive after the replica's restart warm-up completes. A timer expiry
+	// must never resurrect a crashed device.
+	dead []bool
 
 	decisions []Decision
 	count     int
@@ -101,6 +106,7 @@ func newRouter(env *sim.Env, n int, policy RoutePolicy, debtUnit func(string) (t
 		debt:        make([]float64, n),
 		debtUnit:    debtUnit,
 		downUntil:   make([]sim.Time, n),
+		dead:        make([]bool, n),
 	}
 }
 
@@ -135,17 +141,35 @@ func (rt *Router) MarkDown(device int, until sim.Time) {
 	}
 }
 
-// MarkUp returns a device to rotation immediately.
+// MarkUp returns a transiently-down device to rotation immediately. It never
+// resurrects a dead device: permanent failure is only undone by Revive.
 func (rt *Router) MarkUp(device int) { rt.downUntil[device] = 0 }
+
+// MarkDead removes a device from rotation permanently: no timer expiry or
+// MarkUp re-admits it. Only Revive — called after the replica's restart
+// warm-up completes — brings it back.
+func (rt *Router) MarkDead(device int) { rt.dead[device] = true }
+
+// Revive re-admits a dead device, clearing any transient down window too: a
+// freshly warmed replica starts with a clean slate.
+func (rt *Router) Revive(device int) {
+	rt.dead[device] = false
+	rt.downUntil[device] = 0
+}
+
+// Dead reports whether a device is marked permanently failed.
+func (rt *Router) Dead(device int) bool { return rt.dead[device] }
 
 // Down reports whether a device is currently out of rotation.
 func (rt *Router) Down(device int) bool { return rt.env.Now() < rt.downUntil[device] }
 
 // Route picks a replica for one request of the model and records the
-// decision. Down devices are skipped while any healthy replica remains;
-// with every replica down the router degrades to routing among them anyway
-// (queueing at a wedged device beats failing the request outright —
-// resident kernels keep executing through a stall).
+// decision. Dead devices are never candidates. Down devices are skipped
+// while any healthy replica remains; with every live replica down the router
+// degrades to routing among them anyway (queueing at a wedged device beats
+// failing the request outright — resident kernels keep executing through a
+// stall). With every replica dead, routing errors: there is nowhere for the
+// request to go.
 func (rt *Router) Route(modelName string, failover bool) (int, error) {
 	return rt.route(modelName, failover, false, nil)
 }
@@ -175,6 +199,19 @@ func (rt *Router) route(modelName string, failover, hedge bool, exclude []int) (
 		}
 		cands = kept
 	}
+	live := make([]int, 0, len(cands))
+	for _, d := range cands {
+		if !rt.dead[d] {
+			live = append(live, d)
+		}
+	}
+	if len(live) == 0 {
+		if len(cands) == 0 {
+			return -1, fmt.Errorf("cluster: no replicas for model %q", modelName)
+		}
+		return -1, fmt.Errorf("cluster: no live replicas for model %q", modelName)
+	}
+	cands = live
 	healthy := make([]int, 0, len(cands))
 	for _, d := range cands {
 		if !rt.Down(d) {
@@ -183,9 +220,6 @@ func (rt *Router) route(modelName string, failover, hedge bool, exclude []int) (
 	}
 	if len(healthy) > 0 {
 		cands = healthy
-	}
-	if len(cands) == 0 {
-		return -1, fmt.Errorf("cluster: no replicas for model %q", modelName)
 	}
 
 	var pick int

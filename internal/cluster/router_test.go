@@ -195,3 +195,91 @@ func TestSubmitClassPropagatesToServing(t *testing.T) {
 		t.Fatalf("batch-class serving tally %+v, want 1 submitted and completed", bc)
 	}
 }
+
+// TestMarkDeadNeverExpiresByTimer: the crash-recovery distinction — a dead
+// device must stay out of rotation no matter how much virtual time passes or
+// what transient state changes land; only Revive re-admits it.
+func TestMarkDeadNeverExpiresByTimer(t *testing.T) {
+	env := sim.NewEnv(1)
+	rt := testRouter(env, 2, RoundRobin)
+	rt.MarkDead(0)
+	if !rt.Dead(0) {
+		t.Fatal("device 0 not dead after MarkDead")
+	}
+	// A stale transient window around the crash must not matter either way.
+	rt.MarkDown(0, sim.Time(0).Add(time.Millisecond))
+	// MarkUp clears the transient state but must not resurrect the dead.
+	rt.MarkUp(0)
+	if !rt.Dead(0) {
+		t.Fatal("MarkUp resurrected a dead device")
+	}
+	env.Go("probe", func(p *sim.Proc) {
+		p.Sleep(time.Hour) // any transient window has long expired
+		for i := 0; i < 4; i++ {
+			dev, err := rt.Route(model.Inception, false)
+			if err != nil {
+				t.Errorf("route with one live replica errored: %v", err)
+				return
+			}
+			if dev == 0 {
+				t.Error("routed to a dead device after its transient window expired")
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Shutdown()
+}
+
+// TestReviveReadmitsAndClearsTransient: Revive undoes MarkDead and wipes any
+// leftover down window, so a warmed replica re-enters rotation immediately.
+func TestReviveReadmitsAndClearsTransient(t *testing.T) {
+	env := sim.NewEnv(1)
+	rt := testRouter(env, 2, RoundRobin)
+	rt.MarkDead(0)
+	rt.MarkDown(0, sim.Time(0).Add(time.Hour))
+	rt.Revive(0)
+	if rt.Dead(0) {
+		t.Fatal("device 0 still dead after Revive")
+	}
+	if rt.Down(0) {
+		t.Fatal("Revive left a stale transient down window")
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		dev, err := rt.Route(model.Inception, false)
+		if err != nil {
+			t.Fatalf("route after revive errored: %v", err)
+		}
+		seen[dev] = true
+	}
+	if !seen[0] {
+		t.Fatalf("revived device never routed to: %v", seen)
+	}
+}
+
+// TestRouteDeadBeatsDownDegradation: with every live replica transiently
+// down the router degrades to routing among them — but never onto a dead
+// one; and with every replica dead it errors rather than dispatching into
+// the void.
+func TestRouteDeadBeatsDownDegradation(t *testing.T) {
+	env := sim.NewEnv(1)
+	rt := testRouter(env, 2, RoundRobin)
+	rt.MarkDead(0)
+	rt.MarkDown(1, sim.Time(0).Add(10*time.Millisecond))
+	for i := 0; i < 4; i++ {
+		dev, err := rt.Route(model.Inception, false)
+		if err != nil {
+			t.Fatalf("route with a down-but-live replica errored: %v", err)
+		}
+		if dev != 1 {
+			t.Fatalf("routed to dead device %d; the down-but-live replica must absorb traffic", dev)
+		}
+	}
+	rt.MarkDead(1)
+	if _, err := rt.Route(model.Inception, false); err == nil {
+		t.Fatal("route with every replica dead did not error")
+	}
+}

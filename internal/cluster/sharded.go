@@ -92,6 +92,7 @@ type ShardedCluster struct {
 	failovers  int
 	hedges     int
 	hedgeWins  int
+	partitions int
 	byModel    map[string][]float64
 
 	// children[0] records the front-end, children[i+1] device i; merged onto
@@ -99,10 +100,13 @@ type ShardedCluster struct {
 	children []*obs.Recorder
 	rec      *obs.Recorder
 
-	routesC    *obs.Series
-	failoversC *obs.Series
-	hedgesC    *obs.Series
-	hedgeWinsC *obs.Series
+	routesC     *obs.Series
+	failoversC  *obs.Series
+	hedgesC     *obs.Series
+	hedgeWinsC  *obs.Series
+	crashesC    *obs.Series
+	revivesC    *obs.Series
+	partitionsC *obs.Series
 }
 
 // ShardedRequest is one cluster-level inference request under the sharded
@@ -193,6 +197,9 @@ func NewSharded(cfg Config, engine Engine) (*ShardedCluster, error) {
 	c.failoversC = reg.Counter("olympian_cluster_failovers_total", "Requests re-dispatched after a drain.")
 	c.hedgesC = reg.Counter("olympian_cluster_hedges_total", "Hedged duplicates dispatched.")
 	c.hedgeWinsC = reg.Counter("olympian_cluster_hedge_wins_total", "Races won by the hedge.")
+	c.crashesC = reg.Counter("olympian_cluster_crashes_total", "Devices crashed permanently or pending restart.")
+	c.revivesC = reg.Counter("olympian_cluster_revives_total", "Replicas re-admitted after restart warm-up.")
+	c.partitionsC = reg.Counter("olympian_cluster_partitions_total", "Router-device partition windows begun.")
 
 	c.router = newRouter(shards.Env(0), n, cfg.Route, debtUnit(cfg))
 	if cfg.Slim {
@@ -217,13 +224,14 @@ func NewSharded(cfg Config, engine Engine) (*ShardedCluster, error) {
 			BatchTimeout: cfg.BatchTimeout,
 			MaxQueue:     cfg.MaxQueue,
 			Deadline:     cfg.Deadline,
-			Seed:         cfg.Seed + int64(i)*101,
-			Faults:       inj,
-			Admission:    cfg.Admission,
-			Obs:          c.children[i+1],
-			Device:       i,
-			IsolateRand:  true,
-			Slim:         cfg.Slim,
+			Seed:               cfg.Seed + int64(i)*101,
+			Faults:             inj,
+			Admission:          cfg.Admission,
+			Obs:                c.children[i+1],
+			Device:             i,
+			IsolateRand:        true,
+			Slim:               cfg.Slim,
+			TestStrandDrainNth: cfg.TestStrandDrainNth,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: device %d: %w", i, err)
@@ -243,8 +251,67 @@ func NewSharded(cfg Config, engine Engine) (*ShardedCluster, error) {
 			devRec.Instant(obs.LayerCluster, "drain", obs.NoReq, obs.NoClass, i, int64(drained))
 			c.shards.Send(i+1, 0, c.net, func() { c.stallReported(i, until) })
 		})
+		srv.Device().SetCrashObserver(func(recovery time.Duration) {
+			// Device-side: drain our queue (in-flight batches fail through
+			// the crash path and fan reports back through the agent), arm the
+			// revival timer on our own heap, and tell the front-end to mark
+			// us dead — no timer expiry there brings us back.
+			drained := srv.DrainQueued()
+			drainsC.Inc()
+			devRec.Instant(obs.LayerCluster, "crash_drain", obs.NoReq, obs.NoClass, i, int64(drained))
+			if recovery > 0 {
+				warm := warmupFor(cfg, i)
+				env.Schedule(recovery, func() { srv.Device().Revive(warm) })
+			}
+			c.shards.Send(i+1, 0, c.net, func() { c.crashReported(i) })
+		})
+		srv.Device().SetReadyObserver(func() {
+			c.shards.Send(i+1, 0, c.net, func() { c.readyReported(i) })
+		})
+		if inj != nil {
+			c.schedulePartitions(i, inj)
+		}
 	}
 	return c, nil
+}
+
+// crashReported runs on shard 0 when a device's crash report arrives: the
+// replica is marked dead at the router — only a revive report re-admits it.
+func (c *ShardedCluster) crashReported(dev int) {
+	c.router.MarkDead(dev)
+	c.crashesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "crash", obs.NoReq, obs.NoClass, dev, 0)
+}
+
+// readyReported runs on shard 0 when a revived device's ready report
+// arrives: the replica re-enters rotation with a clean slate.
+func (c *ShardedCluster) readyReported(dev int) {
+	c.router.Revive(dev)
+	c.revivesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "revive", obs.NoReq, obs.NoClass, dev, 0)
+}
+
+// schedulePartitions arms a device's router-partition windows on the
+// front-end heap: during a window new requests route around the device but
+// nothing drains — queued and resident work keeps executing. The schedule
+// is read from the injector's precomputed plan at construction.
+func (c *ShardedCluster) schedulePartitions(device int, inj *faults.Injector) {
+	env := c.shards.Env(0)
+	for _, w := range inj.PartitionWindows() {
+		w := w
+		env.ScheduleAt(sim.Time(w.From), func() {
+			c.partitions++
+			c.partitionsC.Inc()
+			c.rec.Instant(obs.LayerCluster, "partition", obs.NoReq, obs.NoClass, device, int64(w.Dur))
+			until := sim.Time(w.From + w.Dur)
+			c.router.MarkDown(device, until)
+			env.Schedule(w.Dur, func() {
+				if !c.router.Down(device) {
+					c.router.MarkUp(device)
+				}
+			})
+		})
+	}
 }
 
 // shardAgent executes front-end commands on its device's shard. Submit and
@@ -500,6 +567,12 @@ func (c *ShardedCluster) Devices() int { return len(c.servers) }
 // mode, which does not retain them.
 func (c *ShardedCluster) Requests() []*ShardedRequest { return c.requests }
 
+// OutstandingAttempts returns how many dispatch attempts are still in flight
+// (dispatched, no outcome report folded back yet). After a run has quiesced
+// it must be zero — the request-conservation checker asserts this: a nonzero
+// count means some attempt's completion was lost.
+func (c *ShardedCluster) OutstandingAttempts() int { return len(c.attemptReq) }
+
 // Run executes the simulation to completion across all shards.
 func (c *ShardedCluster) Run() error { return c.shards.Run() }
 
@@ -521,8 +594,10 @@ func (c *ShardedCluster) FinishObs(label string) {
 // denominator; per-device utilization is normalized to the same horizon so
 // both engines report identical values.
 func (c *ShardedCluster) Stats() Stats {
-	st := Stats{Devices: len(c.servers), Failovers: c.failovers, Hedges: c.hedges, HedgeWins: c.hedgeWins}
+	st := Stats{Devices: len(c.servers), Failovers: c.failovers, Hedges: c.hedges, HedgeWins: c.hedgeWins,
+		Partitions: c.partitions}
 	now := c.shards.Horizon()
+	var totalDown, recovered time.Duration
 	for _, srv := range c.servers {
 		ds := srv.Stats()
 		util := 0.0
@@ -530,9 +605,24 @@ func (c *ShardedCluster) Stats() Stats {
 			util = srv.Device().TotalBusy().Seconds() / now.Seconds()
 		}
 		ds.Utilization = util
+		// Re-normalize availability to the shard horizon: each device's own
+		// clock stops at its last local event, so the single-heap and
+		// parallel engines would otherwise disagree on open-ended downtime.
+		ds.Avail = srv.AvailAt(now)
 		st.PerDevice = append(st.PerDevice, ds)
 		st.Degraded.Merge(ds.Degraded)
 		st.Utilization = append(st.Utilization, util)
+		dev := srv.Device()
+		st.Crashes += dev.Crashes()
+		st.Revives += dev.Revives()
+		totalDown += dev.DowntimeAt(now)
+		recovered += dev.MTTR() * time.Duration(dev.Revives())
+	}
+	if st.Revives > 0 {
+		st.MTTR = recovered / time.Duration(st.Revives)
+	}
+	if now > 0 && len(c.servers) > 0 {
+		st.Unavailability = totalDown.Seconds() / (float64(len(c.servers)) * now.Seconds())
 	}
 	st.Requests = c.reqCount
 	st.Completed = c.completed

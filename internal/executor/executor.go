@@ -13,6 +13,7 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -362,6 +363,13 @@ func (e *Engine) submitKernel(p *sim.Proc, job *Job, n *graph.Node, dur time.Dur
 		k.Done.Wait(p)
 		if k.Err == nil {
 			return true
+		}
+		if errors.Is(k.Err, faults.ErrDeviceCrashed) {
+			// The device is gone, not glitching: retrying against a dead
+			// device would spin the retry budget on instant failures. Abort
+			// immediately so the serving layer can fail the batch over.
+			e.AbortJob(p, job, fmt.Errorf("executor: job %d node %d: %w", job.ID, n.ID, k.Err))
+			return false
 		}
 		if attempt >= e.cfg.KernelRetries {
 			e.AbortJob(p, job, fmt.Errorf("executor: job %d node %d: %w (gave up after %d attempts)",

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"olympian/internal/faults"
+	"olympian/internal/invariant"
 	"olympian/internal/metrics"
 	"olympian/internal/model"
 	"olympian/internal/obs"
@@ -137,6 +138,9 @@ func Chaos(o Options) (*Report, error) {
 	st, drained, bursts := serve(o.Obs)
 	if st.Requests == 0 {
 		return nil, fmt.Errorf("chaos: serving run produced no requests")
+	}
+	if vs := invariant.CheckServing("chaos-serving", st); len(vs) > 0 {
+		return nil, fmt.Errorf("chaos: request conservation violated: %v", vs)
 	}
 	// Determinism probe runs un-observed; the recorder never steers the
 	// simulation, so stats must match regardless.

@@ -10,6 +10,7 @@ import (
 	"olympian/internal/cluster"
 	"olympian/internal/faults"
 	"olympian/internal/gpu"
+	"olympian/internal/invariant"
 	"olympian/internal/model"
 	"olympian/internal/obs"
 	"olympian/internal/planner"
@@ -111,7 +112,11 @@ func (r clusterRun) run(o Options, rec *obs.Recorder, label string) (cluster.Sta
 	if err := env.Run(); err != nil {
 		return cluster.Stats{}, err
 	}
-	return c.Stats(), nil
+	st := c.Stats()
+	if vs := invariant.CheckCluster(c, st); len(vs) > 0 {
+		return cluster.Stats{}, fmt.Errorf("cluster %s: request conservation violated: %v", label, vs)
+	}
+	return st, nil
 }
 
 // Cluster reproduces the extension experiment for the multi-GPU fleet

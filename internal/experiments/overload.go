@@ -9,6 +9,7 @@ import (
 	"olympian/internal/cluster"
 	"olympian/internal/faults"
 	"olympian/internal/gpu"
+	"olympian/internal/invariant"
 	"olympian/internal/model"
 	"olympian/internal/obs"
 	"olympian/internal/overload"
@@ -70,7 +71,11 @@ func overloadServe(o Options, rate float64, horizon time.Duration, rec *obs.Reco
 	if err := env.Run(); err != nil {
 		return overloadPoint{}, err
 	}
-	return overloadPoint{offered: n, stats: srv.Stats(), horizon: horizon}, nil
+	st := srv.Stats()
+	if vs := invariant.CheckServing("overload-point", st); len(vs) > 0 {
+		return overloadPoint{}, fmt.Errorf("overload: request conservation violated: %v", vs)
+	}
+	return overloadPoint{offered: n, stats: st, horizon: horizon}, nil
 }
 
 // overloadHedge drives a two-device fleet where device 0 stalls repeatedly,
@@ -115,7 +120,11 @@ func overloadHedge(o Options, horizon time.Duration, rec *obs.Recorder) (cluster
 	if err := env.Run(); err != nil {
 		return cluster.Stats{}, err
 	}
-	return c.Stats(), nil
+	st := c.Stats()
+	if vs := invariant.CheckCluster(c, st); len(vs) > 0 {
+		return cluster.Stats{}, fmt.Errorf("overload-hedge: request conservation violated: %v", vs)
+	}
+	return st, nil
 }
 
 // Overload is the overload-control experiment: it sweeps offered load from

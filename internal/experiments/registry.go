@@ -43,6 +43,7 @@ func Registry() []Entry {
 		{"cluster", "Extension: multi-GPU cluster serving", Cluster},
 		{"overload", "Overload control: adaptive admission, priority shedding, hedging", Overload},
 		{"sharded", "Parallel simulation core: sharded engines, identity and scale", Sharded},
+		{"recovery", "Crash recovery: goodput retention, MTTR, availability", Recovery},
 	}
 }
 

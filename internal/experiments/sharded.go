@@ -9,6 +9,7 @@ import (
 	"olympian/internal/cluster"
 	"olympian/internal/faults"
 	"olympian/internal/gpu"
+	"olympian/internal/invariant"
 	"olympian/internal/model"
 	"olympian/internal/overload"
 	"olympian/internal/planner"
@@ -62,6 +63,9 @@ func shardedIdentity(o Options, engine cluster.Engine, workers int) (cluster.Sta
 	}
 	st := c.Stats()
 	c.Shutdown()
+	if vs := invariant.CheckSharded(c, st); len(vs) > 0 {
+		return cluster.Stats{}, fmt.Errorf("sharded: request conservation violated: %v", vs)
+	}
 	return st, nil
 }
 

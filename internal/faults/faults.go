@@ -18,6 +18,7 @@ package faults
 import (
 	"errors"
 	"math/rand"
+	"sort"
 	"time"
 
 	"olympian/internal/sim"
@@ -32,7 +33,29 @@ var (
 	// ErrJobAborted marks a job killed at a yield point (client disconnect,
 	// process crash) — the gang must unwind without wedging the scheduler.
 	ErrJobAborted = errors.New("faults: job aborted")
+	// ErrDeviceCrashed marks a kernel killed by a device crash. Unlike
+	// ErrKernelFault it is not transient: retrying against the dead device
+	// is pointless, so the executor aborts the job immediately and the
+	// serving layer converts the riders into drain failures the cluster can
+	// re-dispatch.
+	ErrDeviceCrashed = errors.New("faults: device crashed")
 )
+
+// CrashEvent is one scheduled device crash. Recovery is the delay before the
+// device begins its restart warm-up; zero makes the crash permanent.
+type CrashEvent struct {
+	At       time.Duration `json:"at"`
+	Recovery time.Duration `json:"recovery"`
+}
+
+// Window is one scheduled router<->device partition: the front-end routes
+// around the device between From and From+Dur, but — unlike a stall or a
+// crash — nothing on the device is drained or killed; in-flight work keeps
+// executing and completes normally.
+type Window struct {
+	From time.Duration `json:"from"`
+	Dur  time.Duration `json:"dur"`
+}
 
 // Plan configures which faults are injected and how often. The zero value
 // injects nothing.
@@ -58,12 +81,39 @@ type Plan struct {
 	// BurstFactor multiplies the offered arrival rate inside a burst
 	// (values <= 1 disable bursts).
 	BurstFactor float64
+
+	// CrashEvery is the mean interval between device crashes (0 disables).
+	// Crash arrival times are exponentially distributed around it and the
+	// schedule is precomputed at New, so enabling crashes never perturbs the
+	// other fault classes' draws.
+	CrashEvery time.Duration
+	// CrashRecovery is how long a crashed device stays down before it begins
+	// its restart warm-up; 0 makes every generated crash permanent.
+	CrashRecovery time.Duration
+	// MaxCrashes caps the generated crash schedule (default 1 when
+	// CrashEvery is set: a device usually dies once).
+	MaxCrashes int
+	// Crashes, when non-empty, is an explicit crash schedule that overrides
+	// generation — the replayable form the chaos fuzzer's shrunk repros use.
+	Crashes []CrashEvent
+
+	// PartitionEvery is the mean interval between router<->device partition
+	// windows (0 disables); PartitionDur is each window's length and
+	// MaxPartitions caps the generated schedule (default 1).
+	PartitionEvery time.Duration
+	PartitionDur   time.Duration
+	MaxPartitions  int
+	// Partitions, when non-empty, is an explicit partition schedule that
+	// overrides generation.
+	Partitions []Window
 }
 
 // Enabled reports whether the plan injects any fault at all.
 func (p Plan) Enabled() bool {
 	return p.KernelFailRate > 0 || (p.StallEvery > 0 && p.StallDur > 0) ||
-		p.AbortRate > 0 || (p.BurstEvery > 0 && p.BurstDur > 0 && p.BurstFactor > 1)
+		p.AbortRate > 0 || (p.BurstEvery > 0 && p.BurstDur > 0 && p.BurstFactor > 1) ||
+		p.CrashEvery > 0 || len(p.Crashes) > 0 ||
+		(p.PartitionEvery > 0 && p.PartitionDur > 0) || len(p.Partitions) > 0
 }
 
 // Counters tallies injected faults; the metrics layer folds them into its
@@ -97,12 +147,19 @@ type Injector struct {
 	bursts    []burst
 	burstNext sim.Time // arrival time of the next burst to generate
 
+	// Crash and partition schedules are precomputed at New from their own
+	// seeded streams (absolute times, ascending), so consumers can read them
+	// once at construction and schedule the events on any engine without
+	// further draws — a prerequisite for cross-engine bit-identity.
+	crashes    []CrashEvent
+	partitions []Window
+
 	counters Counters
 }
 
 // New returns an injector for plan whose draws are fully determined by seed.
 func New(seed int64, plan Plan) *Injector {
-	return &Injector{
+	in := &Injector{
 		plan:      plan,
 		kernelRNG: rand.New(rand.NewSource(seed ^ 0x6b65726e)), // "kern"
 		abortRNG:  rand.New(rand.NewSource(seed ^ 0x61626f72)), // "abor"
@@ -110,6 +167,89 @@ func New(seed int64, plan Plan) *Injector {
 		burstRNG:  rand.New(rand.NewSource(seed ^ 0x62757273)), // "burs"
 		retryRNG:  rand.New(rand.NewSource(seed ^ 0x72657472)), // "retr"
 	}
+	in.crashes = generateCrashes(rand.New(rand.NewSource(seed^0x63726173)), plan)    // "cras"
+	in.partitions = generatePartitions(rand.New(rand.NewSource(seed^0x70617274)), plan) // "part"
+	return in
+}
+
+// generateCrashes materializes the plan's crash schedule: the explicit list
+// when given, otherwise MaxCrashes (default 1) exponential arrivals.
+func generateCrashes(rng *rand.Rand, plan Plan) []CrashEvent {
+	if len(plan.Crashes) > 0 {
+		out := append([]CrashEvent(nil), plan.Crashes...)
+		sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+		return out
+	}
+	if plan.CrashEvery <= 0 {
+		return nil
+	}
+	max := plan.MaxCrashes
+	if max <= 0 {
+		max = 1
+	}
+	var out []CrashEvent
+	t := time.Duration(0)
+	for i := 0; i < max; i++ {
+		gap := time.Duration(rng.ExpFloat64() * float64(plan.CrashEvery))
+		if gap < time.Microsecond {
+			gap = time.Microsecond
+		}
+		t += gap
+		out = append(out, CrashEvent{At: t, Recovery: plan.CrashRecovery})
+		if plan.CrashRecovery <= 0 {
+			break // permanent: later crashes could never fire
+		}
+		t += plan.CrashRecovery
+	}
+	return out
+}
+
+// generatePartitions materializes the plan's partition windows likewise.
+func generatePartitions(rng *rand.Rand, plan Plan) []Window {
+	if len(plan.Partitions) > 0 {
+		out := append([]Window(nil), plan.Partitions...)
+		sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+		return out
+	}
+	if plan.PartitionEvery <= 0 || plan.PartitionDur <= 0 {
+		return nil
+	}
+	max := plan.MaxPartitions
+	if max <= 0 {
+		max = 1
+	}
+	var out []Window
+	t := time.Duration(0)
+	for i := 0; i < max; i++ {
+		gap := time.Duration(rng.ExpFloat64() * float64(plan.PartitionEvery))
+		if gap < time.Microsecond {
+			gap = time.Microsecond
+		}
+		t += gap
+		out = append(out, Window{From: t, Dur: plan.PartitionDur})
+		t += plan.PartitionDur
+	}
+	return out
+}
+
+// CrashSchedule returns the precomputed crash events in time order. The gpu
+// device schedules them on its own environment at construction; a nil
+// injector has none.
+func (in *Injector) CrashSchedule() []CrashEvent {
+	if in == nil {
+		return nil
+	}
+	return in.crashes
+}
+
+// PartitionWindows returns the precomputed partition windows in time order.
+// The cluster front-end schedules them at construction; a nil injector has
+// none.
+func (in *Injector) PartitionWindows() []Window {
+	if in == nil {
+		return nil
+	}
+	return in.partitions
 }
 
 // RetryJitter draws a uniform [0,1) sample from the retry-backoff stream.

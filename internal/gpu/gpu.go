@@ -116,6 +116,12 @@ type Stats struct {
 	// KernelFaults counts kernels completed with an injected transient
 	// failure.
 	KernelFaults int
+	// Crashes counts device crashes fired; Revives counts completed
+	// restarts (crash + recovery delay + warm-up). Downtime is accumulated
+	// unschedulable time up to the snapshot, including any open outage.
+	Crashes  int
+	Revives  int
+	Downtime time.Duration
 }
 
 // stream is one submission queue.
@@ -162,6 +168,24 @@ type Device struct {
 	stallArmed bool
 	onStall    func(until sim.Time)
 
+	// Crash/recovery lifecycle. While dead (which includes the warm-up
+	// phase of a restart) the device admits nothing: submissions fail fast
+	// with faults.ErrDeviceCrashed. epoch invalidates every already-
+	// scheduled launch/execute/finish closure from before the crash, and
+	// resident lists the kernels those closures would have completed so the
+	// crash can fail them inline instead.
+	dead          bool
+	warming       bool
+	epoch         uint64
+	resident      []*Kernel
+	downSince     sim.Time
+	downtime      time.Duration // closed outage intervals
+	recoveredDown time.Duration // downtime of completed recoveries (MTTR numerator)
+	crashes       int
+	revives       int
+	onCrash       func(recovery time.Duration)
+	onReady       func()
+
 	memUsed int64
 	stats   Stats
 
@@ -171,6 +195,8 @@ type Device struct {
 	kernelsC *obs.Series
 	faultsC  *obs.Series
 	stallsC  *obs.Series
+	crashesC *obs.Series
+	revivesC *obs.Series
 }
 
 // New returns an idle device with the given spec attached to env.
@@ -205,6 +231,8 @@ func (d *Device) Observe(r *obs.Recorder, device int) {
 	d.kernelsC = reg.Counter("olympian_gpu_kernels_total", "Kernels dispatched.", "device", dev)
 	d.faultsC = reg.Counter("olympian_gpu_kernel_faults_total", "Kernels completed with an injected transient fault.", "device", dev)
 	d.stallsC = reg.Counter("olympian_gpu_stalls_total", "Injected driver stalls.", "device", dev)
+	d.crashesC = reg.Counter("olympian_gpu_crashes_total", "Device crashes fired.", "device", dev)
+	d.revivesC = reg.Counter("olympian_gpu_revives_total", "Device restarts completed (warm-up done).", "device", dev)
 }
 
 // Submit enqueues a kernel on its stream; the driver dispatches it when
@@ -212,6 +240,14 @@ func (d *Device) Observe(r *obs.Recorder, device int) {
 func (d *Device) Submit(k *Kernel) *sim.Event {
 	if k.Done == nil {
 		k.Done = d.env.NewEvent()
+	}
+	if d.dead {
+		// Fail fast: a dead (or still warming) device queues nothing, so the
+		// executor can abort the job immediately instead of wedging on a
+		// completion that will never come.
+		k.Err = faults.ErrDeviceCrashed
+		k.Done.Trigger()
+		return k.Done
 	}
 	if k.Occupancy <= 0 || k.Occupancy > d.spec.Capacity {
 		k.Occupancy = d.spec.Capacity
@@ -236,9 +272,168 @@ func (d *Device) Submit(k *Kernel) *sim.Event {
 }
 
 // InjectFaults attaches a fault injector: completing kernels may fail
-// transiently, and the driver may stall (admission closes while resident
-// kernels keep running). Call it once, before the run starts.
-func (d *Device) InjectFaults(in *faults.Injector) { d.inj = in }
+// transiently, the driver may stall (admission closes while resident kernels
+// keep running), and the injector's precomputed crash schedule is armed on
+// the device's own environment. Call it once, before the run starts.
+func (d *Device) InjectFaults(in *faults.Injector) {
+	d.inj = in
+	for _, ce := range in.CrashSchedule() {
+		ce := ce
+		d.env.ScheduleAt(sim.Time(ce.At), func() { d.crash(ce.Recovery) })
+	}
+}
+
+// SetCrashObserver registers a callback invoked when the device crashes,
+// with the planned recovery delay (0 = permanent). The cluster uses it to
+// drain queued work and mark the replica dead at the router. It runs in
+// event-loop context, after every kernel has been failed, and must not
+// block.
+func (d *Device) SetCrashObserver(fn func(recovery time.Duration)) { d.onCrash = fn }
+
+// SetReadyObserver registers a callback invoked when a crashed device
+// finishes its restart warm-up and is schedulable again. The cluster uses it
+// to re-admit the replica at the router.
+func (d *Device) SetReadyObserver(fn func()) { d.onReady = fn }
+
+// Dead reports whether the device is crashed or still warming up — in either
+// state it admits no kernels.
+func (d *Device) Dead() bool { return d.dead }
+
+// Warming reports whether the device is in the warm-up phase of a restart.
+func (d *Device) Warming() bool { return d.warming }
+
+// Crashes returns how many crashes have fired; Revives how many restarts
+// completed.
+func (d *Device) Crashes() int { return d.crashes }
+
+// Revives returns how many restarts completed (warm-up done).
+func (d *Device) Revives() int { return d.revives }
+
+// DowntimeAt returns the accumulated unschedulable time up to now: every
+// closed outage interval plus the open one, if the device is currently down.
+// Callers pass their own clock (the cluster passes the shard horizon) so
+// both engines normalize identically.
+func (d *Device) DowntimeAt(now sim.Time) time.Duration {
+	down := d.downtime
+	if d.dead && now > d.downSince {
+		down += now.Sub(d.downSince)
+	}
+	return down
+}
+
+// MTTR returns the mean time to recovery over completed restarts: crash to
+// schedulable again, including the recovery delay and the warm-up copy. Zero
+// with no completed recoveries.
+func (d *Device) MTTR() time.Duration {
+	if d.revives == 0 {
+		return 0
+	}
+	return d.recoveredDown / time.Duration(d.revives)
+}
+
+// crash kills the device at the current instant: every queued and resident
+// kernel fails with faults.ErrDeviceCrashed, busy accounting closes its open
+// intervals, and already-scheduled launch/finish closures are invalidated by
+// the epoch bump. A crash while already down is absorbed — the device cannot
+// get deader.
+func (d *Device) crash(recovery time.Duration) {
+	if d.dead {
+		return
+	}
+	now := d.env.Now()
+	d.epoch++
+	d.dead = true
+	d.warming = false
+	d.downSince = now
+	d.crashes++
+	d.stats.Crashes++
+	d.crashesC.Inc()
+	d.rec.Instant(obs.LayerGPU, "crash", obs.NoReq, obs.NoClass, d.obsDev, int64(d.crashes))
+	// Close the open busy intervals: execution stops instantly.
+	if d.active > 0 {
+		d.globalBusy += now.Sub(d.globalStart)
+	}
+	for owner, n := range d.ownerActive {
+		if n > 0 {
+			d.ownerBusy[owner] += now.Sub(d.ownerStart[owner])
+			d.ownerActive[owner] = 0
+		}
+	}
+	d.active = 0
+	d.outstanding = 0
+	d.inUse = 0
+	// The admission barrier dies with the device; a restart begins clean.
+	d.barrierDur = 0
+	d.barrierAt = 0
+	// Fail resident kernels (dispatch order), then queued ones (stream
+	// first-seen order, FIFO within each): a deterministic unwind sequence
+	// both engines replay identically.
+	res := d.resident
+	d.resident = nil
+	for _, k := range res {
+		if k.execSpan != 0 {
+			d.rec.EndSpan(k.execSpan)
+		} else {
+			d.rec.EndSpan(k.launchSpan)
+		}
+		k.Err = faults.ErrDeviceCrashed
+		k.Done.Trigger()
+	}
+	for _, id := range d.order {
+		st := d.streams[id]
+		for _, k := range st.queue {
+			k.Err = faults.ErrDeviceCrashed
+			k.Done.Trigger()
+		}
+		st.queue = nil
+	}
+	d.queued = 0
+	if d.onCrash != nil {
+		d.onCrash(recovery)
+	}
+}
+
+// Revive begins a crashed device's restart: after warmup (the modeled H2D
+// weight re-copy) the device is schedulable again and the ready observer
+// fires. A no-op unless the device is dead and not already warming; a crash
+// landing during warm-up is absorbed like any crash on a dead device.
+func (d *Device) Revive(warmup time.Duration) {
+	if !d.dead || d.warming {
+		return
+	}
+	d.warming = true
+	if warmup < 0 {
+		warmup = 0
+	}
+	d.rec.Span(obs.LayerGPU, "warmup", obs.NoReq, obs.NoClass, d.obsDev, d.env.Now(), d.env.Now().Add(warmup), 0)
+	ep := d.epoch
+	d.env.Schedule(warmup, func() {
+		if d.epoch != ep || !d.warming {
+			return
+		}
+		d.ready()
+	})
+}
+
+// ready completes a restart: downtime is booked, the device reopens, and the
+// ready observer fires before the pump runs (there is nothing queued yet —
+// submissions while dead failed fast).
+func (d *Device) ready() {
+	now := d.env.Now()
+	outage := now.Sub(d.downSince)
+	d.downtime += outage
+	d.recoveredDown += outage
+	d.warming = false
+	d.dead = false
+	d.revives++
+	d.stats.Revives++
+	d.revivesC.Inc()
+	d.rec.Instant(obs.LayerGPU, "ready", obs.NoReq, obs.NoClass, d.obsDev, int64(d.revives))
+	if d.onReady != nil {
+		d.onReady()
+	}
+	d.pump()
+}
 
 // SetRand gives the device a private random source in place of the
 // environment's shared one. A sharded cluster isolates each device stack's
@@ -269,7 +464,7 @@ func (d *Device) Stalled() bool { return d.stalled() }
 // device has work, so an idle device's event queue still drains and the run
 // can end.
 func (d *Device) armStall() {
-	if d.inj == nil || d.stallArmed {
+	if d.inj == nil || d.stallArmed || d.dead {
 		return
 	}
 	wait, dur, ok := d.inj.NextStall()
@@ -279,6 +474,11 @@ func (d *Device) armStall() {
 	d.stallArmed = true
 	d.env.Schedule(wait, func() {
 		d.stallArmed = false
+		if d.dead {
+			// The device crashed while the stall was pending: a dead driver
+			// cannot wedge. The chain re-arms on the first post-revive submit.
+			return
+		}
 		until := d.env.Now().Add(dur)
 		if until > d.stallUntil {
 			d.stallUntil = until
@@ -359,7 +559,7 @@ const maxBypassWait = 200 * time.Microsecond
 // around the oldest waiting kernel.
 func (d *Device) pump() {
 	const eps = 1e-9
-	if d.barrierClosed() || d.stalled() {
+	if d.dead || d.barrierClosed() || d.stalled() {
 		return
 	}
 	for {
@@ -426,7 +626,14 @@ func (d *Device) begin(k *Kernel) {
 	d.ownerCount[k.Owner]++
 	d.kernelsC.Inc()
 	k.launchSpan = d.rec.StartSpan(obs.LayerGPU, "h2d", k.Owner, obs.NoClass, d.obsDev, int64(k.Stream))
-	d.env.Schedule(d.spec.LaunchLatency, func() { d.execStart(k) })
+	d.resident = append(d.resident, k)
+	ep := d.epoch
+	d.env.Schedule(d.spec.LaunchLatency, func() {
+		if d.epoch != ep {
+			return // device crashed; crash() already failed this kernel
+		}
+		d.execStart(k)
+	})
 }
 
 func (d *Device) execStart(k *Kernel) {
@@ -442,7 +649,13 @@ func (d *Device) execStart(k *Kernel) {
 		d.ownerStart[k.Owner] = now
 	}
 	d.ownerActive[k.Owner]++
-	d.env.Schedule(time.Duration(float64(k.Duration)/d.spec.ClockScale), func() { d.finish(k) })
+	ep := d.epoch
+	d.env.Schedule(time.Duration(float64(k.Duration)/d.spec.ClockScale), func() {
+		if d.epoch != ep {
+			return // device crashed; crash() already failed this kernel
+		}
+		d.finish(k)
+	})
 }
 
 func (d *Device) finish(k *Kernel) {
@@ -462,6 +675,12 @@ func (d *Device) finish(k *Kernel) {
 	}
 	if d.outstanding == 0 && d.barrierDur > 0 && d.barrierAt == 0 {
 		d.armBarrier()
+	}
+	for i, r := range d.resident {
+		if r == k {
+			d.resident = append(d.resident[:i], d.resident[i+1:]...)
+			break
+		}
 	}
 	d.rec.EndSpan(k.execSpan)
 	if d.inj.KernelFails() {
@@ -556,5 +775,6 @@ func (d *Device) Stats() Stats {
 	s.TotalBusy = d.TotalBusy()
 	s.MemoryInUse = d.memUsed
 	s.ActiveNow = d.active
+	s.Downtime = d.DowntimeAt(d.env.Now())
 	return s
 }

@@ -1,0 +1,165 @@
+package invariant
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// seedSchedules are the deterministic chaos scenarios the CI fallback runs
+// when no fuzz engine drives DecodeSchedule: every fault plane alone and in
+// combination, on fleets from one device to the cap.
+func seedSchedules() []Schedule {
+	return []Schedule{
+		{Seed: 3, Devices: 1, Arrivals: 12, GapUS: 300},
+		{Seed: 5, Devices: 2, Arrivals: 20, GapUS: 250, Plans: []DevicePlan{
+			{CrashAtUS: []int64{4000}}, // permanent death
+		}},
+		{Seed: 7, Devices: 2, Arrivals: 24, GapUS: 200, Plans: []DevicePlan{
+			{CrashAtUS: []int64{3000, 15000}, RecoveryUS: 6000}, // crash, restart, crash again
+			{StallEveryUS: 8000, StallDurUS: 5000},
+		}},
+		{Seed: 11, Devices: 3, Arrivals: 30, GapUS: 150, Plans: []DevicePlan{
+			{PartFromUS: []int64{2000}, PartDurUS: 8000},
+			{CrashAtUS: []int64{6000}, RecoveryUS: 4000},
+			{},
+		}},
+		{Seed: 13, Devices: 3, Arrivals: 18, GapUS: 400, Plans: []DevicePlan{
+			{CrashAtUS: []int64{1000}}, // dies before most arrivals
+			{CrashAtUS: []int64{2000}}, // fleet shrinks to one device
+			{StallEveryUS: 10000, StallDurUS: 12000},
+		}},
+	}
+}
+
+// TestSeededSchedules is the fuzzer's CI fallback: every seed scenario must
+// hold all invariants on both engines with bit-identical output, without a
+// fuzz engine in the loop.
+func TestSeededSchedules(t *testing.T) {
+	for i, s := range seedSchedules() {
+		vs, err := s.Check()
+		if err != nil {
+			t.Fatalf("schedule %d: %v", i, err)
+		}
+		if len(vs) > 0 {
+			t.Errorf("schedule %d violates invariants:\n%v\nrepro:\n%s", i, vs, s.ReproJSON())
+		}
+	}
+}
+
+// FuzzConservation decodes arbitrary bytes into a bounded chaos schedule,
+// runs it on both cluster engines, and fails on any conservation violation or
+// cross-engine divergence, printing the replayable JSON repro.
+func FuzzConservation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0x07, 0x01, 0x0a, 0x40, 0x07, 0x05, 0x06, 0x08, 0x09, 0x0c, 0x03, 0x04})
+	f.Add([]byte{0x01, 0x02, 0x02, 0x10, 0x20, 0x01, 0x08, 0x13, 0x19, 0x05, 0x0d, 0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := DecodeSchedule(data)
+		vs, err := s.Check()
+		if err != nil {
+			t.Fatalf("schedule failed to run: %v\nrepro:\n%s", err, s.ReproJSON())
+		}
+		if len(vs) > 0 {
+			shrunk := Shrink(s)
+			t.Fatalf("invariants violated:\n%v\nminimal repro:\n%s", vs, shrunk.ReproJSON())
+		}
+	})
+}
+
+// TestPlantedDrainBugFoundAndShrunk is the end-to-end negative test: with the
+// serving layer's deliberate drain bug armed (every 2nd drained request
+// silently stranded), the checker must catch the leak, the shrinker must
+// reduce the schedule while preserving the failure, and the shrunk repro must
+// replay deterministically through its JSON round trip.
+func TestPlantedDrainBugFoundAndShrunk(t *testing.T) {
+	s := Schedule{
+		Seed: 9, Devices: 2, Arrivals: 24, GapUS: 100,
+		Plans: []DevicePlan{
+			{CrashAtUS: []int64{2000}},
+			{StallEveryUS: 5000, StallDurUS: 8000},
+		},
+		StrandNth: 2,
+	}
+	vs, err := s.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("the planted drain bug produced no violation; the checker is blind")
+	}
+	rules := make(map[string]bool)
+	for _, v := range vs {
+		rules[v.Rule] = true
+	}
+	if !rules["request-stranded"] && !rules["cluster-conservation"] && !rules["attempts-quiesced"] {
+		t.Fatalf("violations miss the stranded request: %v", vs)
+	}
+
+	shrunk := Shrink(s)
+	if !shrunk.Fails() {
+		t.Fatal("shrinking lost the failure")
+	}
+	if shrunk.Arrivals > s.Arrivals || shrunk.Devices > s.Devices {
+		t.Fatalf("shrink grew the schedule: %+v -> %+v", s, shrunk)
+	}
+
+	// The repro must survive its JSON round trip and replay to the identical
+	// violation set, twice — a repro that flakes is no repro.
+	replayed, err := ScheduleFromJSON(shrunk.ReproJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, shrunk) {
+		t.Fatalf("repro round trip changed the schedule:\n%+v\nvs\n%+v", shrunk, replayed)
+	}
+	first, err := replayed.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := replayed.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("replayed repro no longer fails")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("repro is nondeterministic:\n%v\nvs\n%v", first, second)
+	}
+}
+
+// TestDecodeScheduleBounded: any byte string must decode inside the fuzzer's
+// clamps, including the empty input.
+func TestDecodeScheduleBounded(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{0xff},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		{0x00, 0x00, 0x02, 0x00, 0x00, 0x1f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for _, in := range inputs {
+		s := DecodeSchedule(in)
+		if s.Devices < 1 || s.Devices > maxDevices {
+			t.Fatalf("devices %d out of bounds for input %x", s.Devices, in)
+		}
+		if s.Arrivals < 1 || s.Arrivals > maxArrivals {
+			t.Fatalf("arrivals %d out of bounds for input %x", s.Arrivals, in)
+		}
+		for _, p := range s.Plans {
+			for _, at := range p.CrashAtUS {
+				if at < 0 || at > maxFaultUS {
+					t.Fatalf("crash time %d out of bounds for input %x", at, in)
+				}
+			}
+		}
+	}
+}
+
+// TestViolationString keeps the rule: detail rendering the reports rely on.
+func TestViolationString(t *testing.T) {
+	v := violatef("some-rule", "saw %d", 3)
+	if got := v.String(); !strings.Contains(got, "some-rule") || !strings.Contains(got, "saw 3") {
+		t.Fatalf("violation rendered as %q", got)
+	}
+}

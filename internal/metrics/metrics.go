@@ -189,6 +189,12 @@ type ClassCounts struct {
 	Shed int
 	// Expired counts requests dropped in queue past their deadline.
 	Expired int
+	// Failed counts requests that terminated with a hard failure: drained on
+	// a device crash past the failover cap, aborted mid-execution, or
+	// cancelled. Together with the other terminal counters it completes the
+	// conservation identity Submitted = Completed + Shed + Expired + Failed
+	// once a run quiesces.
+	Failed int
 	// DeadlineMisses counts requests served after their deadline.
 	DeadlineMisses int
 }
@@ -202,6 +208,7 @@ func (c *ClassCounts) Merge(o ClassCounts) {
 	c.Completed += o.Completed
 	c.Shed += o.Shed
 	c.Expired += o.Expired
+	c.Failed += o.Failed
 	c.DeadlineMisses += o.DeadlineMisses
 }
 
@@ -224,6 +231,12 @@ type Degraded struct {
 	KernelFaults int
 	DeviceStalls int
 	JobAborts    int
+	// DeviceCrashes and DeviceRevives count permanent-failure events and
+	// completed restarts (warm-up done); CrashedBatches counts batches whose
+	// execution was cut short by a crash mid-flight.
+	DeviceCrashes  int
+	DeviceRevives  int
+	CrashedBatches int
 	// Recovery actions.
 	KernelRetries int
 	BatchRetries  int
@@ -246,6 +259,9 @@ func (d *Degraded) Merge(o Degraded) {
 	d.KernelFaults += o.KernelFaults
 	d.DeviceStalls += o.DeviceStalls
 	d.JobAborts += o.JobAborts
+	d.DeviceCrashes += o.DeviceCrashes
+	d.DeviceRevives += o.DeviceRevives
+	d.CrashedBatches += o.CrashedBatches
 	d.KernelRetries += o.KernelRetries
 	d.BatchRetries += o.BatchRetries
 	d.BatchFailures += o.BatchFailures
@@ -276,6 +292,9 @@ func (d Degraded) String() string {
 	add("kernelFaults", d.KernelFaults)
 	add("stalls", d.DeviceStalls)
 	add("aborts", d.JobAborts)
+	add("crashes", d.DeviceCrashes)
+	add("revives", d.DeviceRevives)
+	add("crashedBatches", d.CrashedBatches)
 	add("kernelRetries", d.KernelRetries)
 	add("batchRetries", d.BatchRetries)
 	add("batchFailures", d.BatchFailures)
@@ -289,11 +308,37 @@ func (d Degraded) String() string {
 	for cls := range d.ByClass {
 		c := d.ByClass[cls]
 		if c.Any() {
-			parts = append(parts, fmt.Sprintf("%s[done=%d shed=%d expired=%d miss=%d of %d]",
-				overload.Class(cls), c.Completed, c.Shed, c.Expired, c.DeadlineMisses, c.Submitted))
+			parts = append(parts, fmt.Sprintf("%s[done=%d shed=%d expired=%d failed=%d miss=%d of %d]",
+				overload.Class(cls), c.Completed, c.Shed, c.Expired, c.Failed, c.DeadlineMisses, c.Submitted))
 		}
 	}
 	return strings.Join(parts, " ")
+}
+
+// Availability summarizes one device's crash-recovery behaviour over a run.
+// It is comparable (determinism probes use ==). The zero value means the
+// device never crashed.
+type Availability struct {
+	// Crashes counts crash events; Revives counts completed restarts.
+	Crashes int
+	Revives int
+	// Downtime is the total unschedulable time: every closed outage plus the
+	// open one at the end of the run.
+	Downtime time.Duration
+	// MTTR is the mean time to recovery over completed restarts (crash to
+	// schedulable again, including the recovery delay and warm-up copy).
+	MTTR time.Duration
+	// Frac is the availability fraction: 1 - Downtime/elapsed.
+	Frac float64
+}
+
+// String renders availability compactly.
+func (a Availability) String() string {
+	if a.Crashes == 0 {
+		return "up"
+	}
+	return fmt.Sprintf("crashes=%d revives=%d down=%s mttr=%s avail=%.4f",
+		a.Crashes, a.Revives, a.Downtime, a.MTTR, a.Frac)
 }
 
 // FinishRecord is one client's completion time.

@@ -305,7 +305,7 @@ func TestDegradedStringRendersClassesAndNewCounters(t *testing.T) {
 	s := d.String()
 	for _, frag := range []string{
 		"retryDenied=2", "admissionSheds=5", "evictions=1", "canceled=3",
-		"interactive[done=8 shed=1 expired=0 miss=1 of 10]",
+		"interactive[done=8 shed=1 expired=0 failed=0 miss=1 of 10]",
 	} {
 		if !strings.Contains(s, frag) {
 			t.Fatalf("String() = %q missing %q", s, frag)

@@ -176,6 +176,13 @@ type Config struct {
 	// memory proportional to the completed-latency samples only. Stats are
 	// identical to the retained path.
 	Slim bool
+	// TestStrandDrainNth, when positive, plants a deliberate bug in
+	// DrainQueued for invariant-checker tests: every Nth drained request is
+	// silently removed from its queue without being failed, stranding its
+	// waiter forever. Production configurations must leave it zero; the chaos
+	// fuzzer uses it to prove the request-conservation checker catches real
+	// drain-path leaks.
+	TestStrandDrainNth int
 }
 
 // Validate rejects configurations that are explicit nonsense rather than
@@ -239,6 +246,9 @@ type Stats struct {
 	Admission []ModelAdmission
 	// Utilization of the device over the run.
 	Utilization float64
+	// Avail summarizes the device's crash-recovery behaviour (MTTR, downtime,
+	// availability fraction); the zero value means it never crashed.
+	Avail metrics.Availability
 	// Degraded tallies faults, retries, and shed load.
 	Degraded metrics.Degraded
 }
@@ -273,6 +283,12 @@ type Server struct {
 
 	retryLeft int
 	degraded  metrics.Degraded
+
+	// draining guards DrainQueued against re-entry: a drained waiter's
+	// failover path may submit, cancel, or drain again synchronously.
+	draining bool
+	// drainSeq counts drained requests for the TestStrandDrainNth bug hook.
+	drainSeq int
 
 	// Observability: rec is nil on the disabled fast path; the cached
 	// series are nil then too, so every bump below is a no-op.
@@ -472,6 +488,14 @@ func (s *Server) SubmitClass(p *sim.Proc, modelName string, class overload.Class
 		s.requests = append(s.requests, req)
 	}
 	s.degraded.ByClass[class].Submitted++
+	if s.dev.Dead() {
+		// Crashed replica: fail fast with the drain sentinel so the cluster
+		// failover path resubmits elsewhere instead of queueing into a dead
+		// device. (The router should not have picked this replica; this
+		// covers the race where a crash lands between routing and submit.)
+		s.fail(req, ErrDrained)
+		return req, nil
+	}
 	if _, ok := s.flushers[modelName]; !ok {
 		s.startBatcher(modelName)
 	}
@@ -540,11 +564,10 @@ func (s *Server) limiter(modelName string) *overload.Limiter {
 	return lim
 }
 
-// shed rejects a request at admission: the failure is stamped and the class
-// tally updated. Callers decide whether the event is also a congestion
-// signal for the model's limiter.
+// shed rejects a request at admission; fail books the per-class Shed tally.
+// Callers decide whether the event is also a congestion signal for the
+// model's limiter.
 func (s *Server) shed(r *Request, err error) {
-	s.degraded.ByClass[r.Class].Shed++
 	s.fail(r, err)
 }
 
@@ -614,10 +637,22 @@ func (s *Server) startBatcher(modelName string) {
 	proc.SetDaemon(true)
 }
 
-// fail completes a request with an error at the current sim time.
+// fail completes a request with an error at the current sim time. It is the
+// single point that books the request's terminal state into the per-class
+// conservation tallies: sheds count as Shed, queue expiries as Expired, and
+// every other failure (drained, canceled, batch error) as Failed — so
+// Submitted = Completed + Shed + Expired + Failed holds once a run quiesces.
 func (s *Server) fail(r *Request, err error) {
 	r.Err = err
 	r.FinishAt = s.env.Now()
+	switch {
+	case errors.Is(err, ErrShed), errors.Is(err, ErrQueueFull):
+		s.degraded.ByClass[r.Class].Shed++
+	case errors.Is(err, ErrExpired):
+		s.degraded.ByClass[r.Class].Expired++
+	default:
+		s.degraded.ByClass[r.Class].Failed++
+	}
 	s.rec.EndSpan(r.span)
 	r.span = 0
 	if s.rec != nil {
@@ -679,10 +714,21 @@ func (s *Server) Cancel(p *sim.Proc, r *Request) bool {
 
 // DrainQueued fails every request still waiting in a batcher queue with
 // ErrDrained and returns how many were drained. Requests already dispatched
-// in a batch are left to finish on the device. A cluster router calls this
-// when it takes the device out of rotation (e.g. on an injected driver
-// stall) so the queued work can be resubmitted to surviving replicas.
+// in a batch are left to finish on the device (a crash fails them through
+// the batch path instead). A cluster router calls this when it takes the
+// device out of rotation — stall failover or crash — so the queued work can
+// be resubmitted to surviving replicas.
+//
+// DrainQueued is re-entrant: each queue is detached before its requests are
+// failed, so a drained waiter that synchronously submits, cancels, or drains
+// again sees consistent queues, and a nested call finds nothing left to do.
+// Requests enqueued during the drain (by woken waiters) survive it.
 func (s *Server) DrainQueued() int {
+	if s.draining {
+		return 0
+	}
+	s.draining = true
+	defer func() { s.draining = false }()
 	// Drain in sorted model order: map iteration order would leak into the
 	// order drained waiters wake (and hence re-route), breaking same-seed
 	// determinism.
@@ -694,11 +740,22 @@ func (s *Server) DrainQueued() int {
 	n := 0
 	for _, name := range names {
 		q := s.queues[name]
+		s.queues[name] = nil
 		for _, r := range q {
+			if r.FinishAt != 0 {
+				continue // already terminal (e.g. canceled mid-drain)
+			}
+			if s.cfg.TestStrandDrainNth > 0 {
+				s.drainSeq++
+				if s.drainSeq%s.cfg.TestStrandDrainNth == 0 {
+					// Deliberate test-only bug: drop the request without
+					// completing it. See Config.TestStrandDrainNth.
+					continue
+				}
+			}
 			s.fail(r, ErrDrained)
 			n++
 		}
-		s.queues[name] = q[:0]
 	}
 	return n
 }
@@ -712,7 +769,6 @@ func (s *Server) dropExpired(modelName string) {
 	for _, r := range q {
 		if r.Deadline > 0 && now > r.Deadline {
 			s.degraded.Expired++
-			s.degraded.ByClass[r.Class].Expired++
 			s.fail(r, ErrExpired)
 			if lim := s.limiters[modelName]; lim != nil {
 				lim.OnCongestion(time.Duration(now))
@@ -802,13 +858,26 @@ func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Re
 			// were already completed with ErrCanceled, nothing to retry.
 			return
 		}
+		if errors.Is(jobErr, faults.ErrDeviceCrashed) {
+			// The device died under this batch. Retrying locally is
+			// pointless — fail the riders with the drain sentinel so the
+			// cluster failover path re-dispatches them to live replicas.
+			s.degraded.CrashedBatches++
+			for _, r := range batch {
+				if r.canceled || r.FinishAt != 0 {
+					continue
+				}
+				s.fail(r, ErrDrained)
+			}
+			return
+		}
 		if attempt >= s.cfg.MaxRetries || s.retryLeft <= 0 {
 			if attempt < s.cfg.MaxRetries {
 				s.degraded.RetryDenied++
 			}
 			s.degraded.BatchFailures++
 			for _, r := range batch {
-				if r.canceled {
+				if r.canceled || r.FinishAt != 0 {
 					continue
 				}
 				s.fail(r, fmt.Errorf("serving: batch failed after %d attempts: %w", attempt+1, jobErr))
@@ -827,8 +896,8 @@ func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Re
 	now := p.Now()
 	lim := s.limiters[batch[0].Model]
 	for _, r := range batch {
-		if r.canceled {
-			continue
+		if r.canceled || r.FinishAt != 0 {
+			continue // a terminal state landed mid-flight; never complete twice
 		}
 		r.FinishAt = now
 		s.releaseSlot(r)
@@ -883,6 +952,27 @@ func (s *Server) graphFor(modelName string, batch int) (*graph.Graph, error) {
 // Requests returns all requests submitted so far; nil in Slim mode, which
 // does not retain them.
 func (s *Server) Requests() []*Request { return s.requests }
+
+// AvailAt summarizes the device's crash-recovery behaviour normalized against
+// the caller's clock; the zero value means the device never crashed. The
+// sharded cluster passes the shard horizon so both engines normalize
+// identically.
+func (s *Server) AvailAt(now sim.Time) metrics.Availability {
+	if s.dev.Crashes() == 0 {
+		return metrics.Availability{}
+	}
+	a := metrics.Availability{
+		Crashes:  s.dev.Crashes(),
+		Revives:  s.dev.Revives(),
+		Downtime: s.dev.DowntimeAt(now),
+		MTTR:     s.dev.MTTR(),
+		Frac:     1,
+	}
+	if now > 0 {
+		a.Frac = 1 - a.Downtime.Seconds()/time.Duration(now).Seconds()
+	}
+	return a
+}
 
 // Stats summarises completed requests.
 func (s *Server) Stats() Stats {
@@ -943,7 +1033,10 @@ func (s *Server) Stats() Stats {
 	if now := s.env.Now(); now > 0 {
 		st.Utilization = s.dev.TotalBusy().Seconds() / now.Seconds()
 	}
+	st.Avail = s.AvailAt(s.env.Now())
 	st.Degraded = s.degraded
+	st.Degraded.DeviceCrashes = s.dev.Crashes()
+	st.Degraded.DeviceRevives = s.dev.Revives()
 	st.Degraded.KernelRetries = s.eng.KernelRetries()
 	if s.cfg.Faults != nil {
 		c := s.cfg.Faults.Counters()
