@@ -214,3 +214,18 @@ func TestClusterExperimentEndpoint(t *testing.T) {
 		t.Fatalf("cluster failover left failures: %v", metrics)
 	}
 }
+
+func TestLLMExperimentEndpoint(t *testing.T) {
+	h := newHandler()
+	rec, obj := do(t, h, "POST", "/experiments/llm?quick=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run status %d: %v", rec.Code, obj)
+	}
+	metrics := obj["metrics"].(map[string]any)
+	if metrics["bit_identical"].(float64) != 1 {
+		t.Fatalf("llm engines diverged: %v", metrics)
+	}
+	if metrics["invariant_violations"].(float64) != 0 {
+		t.Fatalf("llm run violated conservation: %v", metrics)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"olympian/internal/model"
 	"olympian/internal/overload"
 	"olympian/internal/profiler"
+	"olympian/internal/serving"
 	"olympian/internal/sim"
 	"olympian/internal/workload"
 )
@@ -61,6 +62,7 @@ func benchSuite() []struct {
 		{"cluster/sharded_1dev", benchShardedCluster(1, 5_000)},
 		{"cluster/sharded_8dev", benchShardedCluster8},
 		{"cluster/sharded_64dev", benchShardedCluster(64, 50_000)},
+		{"serving/continuous_batching", benchContinuousBatching},
 	}
 }
 
@@ -229,6 +231,59 @@ func benchShardedCluster8(b *testing.B) {
 	sharded := total / time.Duration(b.N)
 	b.ReportMetric(single.Seconds()/sharded.Seconds(), "speedup")
 	b.ReportMetric(float64(requests)*float64(b.N)/total.Seconds(), "req_per_s")
+}
+
+// benchContinuousBatching drives one colocated LLM replica through an
+// open-loop Poisson train and reports wall-clock tokens/second: the cost of
+// the token-boundary scheduling loop (join/leave, KV growth, decode kernels),
+// not the modeled GPU time. One op is a full 500-request run.
+func benchContinuousBatching(b *testing.B) {
+	const requests = 500
+	prof, err := profiler.ProfileLLM(model.LLMTiny, gpu.GTX1080Ti, 900)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total time.Duration
+	tokens := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv(1)
+		srv, err := serving.NewLLMServer(env, serving.LLMConfig{
+			Model:   model.LLMTiny,
+			Seed:    1,
+			Slim:    true,
+			Profile: prof,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(23))
+		n := 0
+		var gen func()
+		gen = func() {
+			prompt := 16 + rng.Intn(240)
+			output := 16 + rng.Intn(112)
+			if _, err := srv.Submit(model.LLMTiny, overload.Interactive, prompt, output, 0); err != nil {
+				b.Error(err)
+			}
+			n++
+			if n < requests {
+				env.Schedule(time.Duration(rng.ExpFloat64()*float64(time.Second)/3000), gen)
+			}
+		}
+		env.Schedule(0, gen)
+		start := time.Now()
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+		total += time.Since(start)
+		st := srv.Stats()
+		if st.Completed != requests {
+			b.Fatalf("continuous batching lost requests: %d of %d completed", st.Completed, requests)
+		}
+		tokens += st.TokensEmitted
+	}
+	b.ReportMetric(float64(tokens)/total.Seconds(), "tokens_per_s")
 }
 
 // benchSpecs builds a small multi-config workload: four independent Olympian

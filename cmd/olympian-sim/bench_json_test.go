@@ -59,6 +59,9 @@ func TestRunBenchJSON(t *testing.T) {
 	if br := byName["cluster/sharded_64dev"]; br.Metrics["req_per_s"] <= 0 {
 		t.Errorf("sharded_64dev: missing req_per_s metric: %v", br.Metrics)
 	}
+	if br := byName["serving/continuous_batching"]; br.Metrics["tokens_per_s"] <= 0 {
+		t.Errorf("continuous_batching: missing tokens_per_s metric: %v", br.Metrics)
+	}
 }
 
 // TestCheckBenchBaseline exercises the regression gate without running any

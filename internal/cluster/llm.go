@@ -1,0 +1,690 @@
+// Prefill/decode-disaggregated LLM fleet: prefill replicas compute prompt
+// KV and first tokens, decode replicas stream the rest, and the KV cache
+// travels between them over a modeled interconnect.
+//
+// The topology reuses the sharded substrate: shard 0 is the front-end
+// (router, request bookkeeping, transfer links), shard i+1 hosts device i's
+// serving.LLMServer. Devices 0..P-1 run llm.PrefillRole, P..P+D-1
+// llm.DecodeRole. One Router covers both pools through role pseudo-models
+// ("<model>#prefill", "<model>#decode"), so every placement choice lands in
+// a single decision log and one DecisionHash fingerprints the whole fleet.
+//
+// A request's life: route to a prefill replica; the prefill pass emits the
+// first token and hands the KV off; the front-end books the shipment on the
+// prefill device's egress link (transfers serialize — a busy link delays the
+// handoff), routes to a decode replica, and sends the ingest after the
+// transfer completes; the decode replica recomputes nothing, joins the
+// sequence to its continuous batch, and streams the remaining tokens. A
+// crash on either side drains with ErrDrained and the front-end re-dispatches
+// to prefill with have = tokens already delivered, so the next replica
+// recomputes their KV but never re-emits them — the cluster-level token
+// conservation law Σ device TokensEmitted == Σ request TokensOut.
+//
+// LLMServer.Submit and Ingest never park, so no per-device agent process is
+// needed: cross-shard messages call them directly and subscribe to the
+// request's completion event.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"olympian/internal/faults"
+	"olympian/internal/gpu"
+	"olympian/internal/llm"
+	"olympian/internal/metrics"
+	"olympian/internal/model"
+	"olympian/internal/obs"
+	"olympian/internal/overload"
+	"olympian/internal/profiler"
+	"olympian/internal/serving"
+	"olympian/internal/sim"
+)
+
+// LLMConfig configures a prefill/decode-disaggregated fleet.
+type LLMConfig struct {
+	// Seed drives all randomness; per-device streams are derived from it.
+	Seed int64
+	// Model is the served LLM (default model.LLMTiny); every replica holds
+	// its weights resident.
+	Model string
+	// PrefillReplicas and DecodeReplicas size the two pools (both ≥ 1; a
+	// colocated deployment is a single serving.LLMServer, not a cluster).
+	PrefillReplicas int
+	DecodeReplicas  int
+	// PrefillSpec and DecodeSpec pick each pool's platform; zero values take
+	// the reference GTX 1080 Ti. A small DecodeSpec.MemoryBytes is how the
+	// llm experiment provokes KV pressure.
+	PrefillSpec gpu.Spec
+	DecodeSpec  gpu.Spec
+	// MaxSeqs / MaxBatchTokens / MaxStepTime bound each decode replica's
+	// continuous batch (serving.LLMConfig semantics).
+	MaxSeqs        int
+	MaxBatchTokens int
+	MaxStepTime    time.Duration
+	// MaxQueue bounds each replica's prefill queue (0 = unbounded).
+	MaxQueue int
+	// BlockTokens is the KV-cache block granularity (default 16).
+	BlockTokens int
+	// MaxFailovers caps per-request re-dispatches after drains (default 2).
+	MaxFailovers int
+	// Route selects the routing policy (default LeastOutstanding).
+	Route RoutePolicy
+	// NetLatency is the front-end<->device hop and the shard lookahead
+	// (default DefaultNetLatency).
+	NetLatency time.Duration
+	// LinkLatency and LinkBytesPerSec shape each prefill replica's egress
+	// interconnect for KV handoffs (defaults in package llm).
+	LinkLatency     time.Duration
+	LinkBytesPerSec float64
+	// Faults optionally injects per-device fault plans; index i applies to
+	// device i in the prefill-then-decode order.
+	Faults []*faults.Plan
+	// H2DBandwidth and WarmupBase shape crash-recovery warm-up (defaults as
+	// in Config).
+	H2DBandwidth float64
+	WarmupBase   time.Duration
+	// Workers sizes the sharded engine's worker pool (0 = NumCPU).
+	Workers int
+	// Slim drops per-request retention and streams the decision hash.
+	Slim bool
+	// Obs, when non-nil, records the fleet's request lifecycle.
+	Obs *obs.Recorder
+}
+
+func (cfg LLMConfig) withDefaults() LLMConfig {
+	if cfg.Model == "" {
+		cfg.Model = model.LLMTiny
+	}
+	if cfg.PrefillSpec.Name == "" {
+		cfg.PrefillSpec = gpu.GTX1080Ti
+	}
+	if cfg.DecodeSpec.Name == "" {
+		cfg.DecodeSpec = gpu.GTX1080Ti
+	}
+	if cfg.MaxFailovers <= 0 {
+		cfg.MaxFailovers = 2
+	}
+	if cfg.Route == 0 {
+		cfg.Route = LeastOutstanding
+	}
+	if cfg.NetLatency <= 0 {
+		cfg.NetLatency = DefaultNetLatency
+	}
+	if cfg.H2DBandwidth <= 0 {
+		cfg.H2DBandwidth = DefaultH2DBandwidth
+	}
+	if cfg.WarmupBase <= 0 {
+		cfg.WarmupBase = DefaultWarmupBase
+	}
+	return cfg
+}
+
+// LLMRequest is one generation request as the fleet front-end sees it.
+type LLMRequest struct {
+	// ID is the arrival index; Class the priority class.
+	ID    int
+	Class overload.Class
+	// PromptTokens and OutputTokens are the request's dimensions.
+	PromptTokens int
+	OutputTokens int
+	// PrefillDev and DecodeDev are the last replicas of each role to hold
+	// the request.
+	PrefillDev int
+	DecodeDev  int
+	// Hops counts failover re-dispatches after drains.
+	Hops int
+	// TokensOut is the total output tokens delivered across all attempts.
+	TokensOut int
+	// ArriveAt/FirstTokenAt/LastTokenAt/FinishAt are front-end stamps in
+	// global virtual time.
+	ArriveAt     sim.Time
+	FirstTokenAt sim.Time
+	LastTokenAt  sim.Time
+	FinishAt     sim.Time
+	// Err is the terminal error (nil on success or in flight).
+	Err error
+
+	settled bool
+}
+
+// Finished reports whether the request reached a terminal state.
+func (r *LLMRequest) Finished() bool { return r.settled }
+
+// Failed reports whether the request ended in an error.
+func (r *LLMRequest) Failed() bool { return r.settled && r.Err != nil }
+
+// TTFT is the time to first token; 0 before one was delivered.
+func (r *LLMRequest) TTFT() time.Duration {
+	if r.FirstTokenAt == 0 || r.FirstTokenAt < r.ArriveAt {
+		return 0
+	}
+	return r.FirstTokenAt.Sub(r.ArriveAt)
+}
+
+// TPOT is the mean inter-token gap; 0 with fewer than two tokens.
+func (r *LLMRequest) TPOT() time.Duration {
+	if r.TokensOut < 2 || r.LastTokenAt <= r.FirstTokenAt {
+		return 0
+	}
+	return r.LastTokenAt.Sub(r.FirstTokenAt) / time.Duration(r.TokensOut-1)
+}
+
+// llmReport is one attempt outcome, snapshotted in the device's own context
+// so the closure the front-end runs touches no device-shard state.
+type llmReport struct {
+	tokensOut    int
+	kvTokens     int
+	firstTokenAt sim.Time
+	lastTokenAt  sim.Time
+	handedOff    bool
+	err          error
+}
+
+// LLMCluster is a prefill/decode-disaggregated fleet on the sharded
+// substrate; both engines (SingleHeap, Sharded) produce bit-identical runs.
+type LLMCluster struct {
+	cfg    LLMConfig
+	engine Engine
+	shards *sim.Shards
+	net    time.Duration
+
+	router  *Router
+	servers []*serving.LLMServer
+	links   []*llm.Link // egress link per prefill device, owned by shard 0
+
+	requests   []*LLMRequest // retained unless Slim
+	attemptReq map[int]*LLMRequest
+	reqCount   int
+	attempts   int
+
+	completed, failed, shed     int
+	partial, partialTokens      int
+	failovers, crashes, revives int
+	tokensDelivered             int
+	ttfts, tpots                []float64
+
+	children []*obs.Recorder
+	rec      *obs.Recorder
+
+	routesC    *obs.Series
+	failoversC *obs.Series
+	handoffsC  *obs.Series
+	crashesC   *obs.Series
+	revivesC   *obs.Series
+}
+
+// prefillModel and decodeModel are the role pseudo-models the shared router
+// places; one decision log covers both pools.
+func prefillModel(m string) string { return m + "#prefill" }
+func decodeModel(m string) string  { return m + "#decode" }
+
+// NewLLM builds the disaggregated fleet: shard 0 the front-end, shard i+1
+// device i (prefill replicas first, then decode).
+func NewLLM(cfg LLMConfig, engine Engine) (*LLMCluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PrefillReplicas < 1 || cfg.DecodeReplicas < 1 {
+		return nil, fmt.Errorf("cluster: disaggregation needs ≥1 prefill and ≥1 decode replica (got %d+%d)",
+			cfg.PrefillReplicas, cfg.DecodeReplicas)
+	}
+	if !model.IsLLM(cfg.Model) {
+		return nil, fmt.Errorf("cluster: %q is not an autoregressive model", cfg.Model)
+	}
+	n := cfg.PrefillReplicas + cfg.DecodeReplicas
+	shards := sim.NewShards(sim.ShardsConfig{
+		N:          n + 1,
+		Lookahead:  cfg.NetLatency,
+		Seed:       cfg.Seed,
+		SingleHeap: engine == SingleHeap,
+		Workers:    cfg.Workers,
+	})
+	c := &LLMCluster{
+		cfg:        cfg,
+		engine:     engine,
+		shards:     shards,
+		net:        cfg.NetLatency,
+		attemptReq: make(map[int]*LLMRequest),
+		children:   make([]*obs.Recorder, n+1),
+	}
+	if cfg.Obs != nil {
+		for i := range c.children {
+			c.children[i] = cfg.Obs.NewChild()
+			c.children[i].Attach(shards.Env(i))
+		}
+	}
+	c.rec = c.children[0]
+	reg := c.rec.Registry()
+	c.routesC = reg.Counter("olympian_cluster_routes_total", "Routing decisions.")
+	c.failoversC = reg.Counter("olympian_cluster_failovers_total", "Requests re-dispatched after a drain.")
+	c.handoffsC = reg.Counter("olympian_cluster_kv_handoffs_total", "KV shipments booked on transfer links.")
+	c.crashesC = reg.Counter("olympian_cluster_crashes_total", "Devices crashed permanently or pending restart.")
+	c.revivesC = reg.Counter("olympian_cluster_revives_total", "Replicas re-admitted after restart warm-up.")
+
+	// Profile each distinct spec once; replicas share the fitted curves, and
+	// the cost-weighted router charges prefill debt from the same fit.
+	profiles := map[string]*profiler.LLMProfile{}
+	for _, spec := range []gpu.Spec{cfg.PrefillSpec, cfg.DecodeSpec} {
+		if _, ok := profiles[spec.Name]; ok {
+			continue
+		}
+		prof, err := profiler.ProfileLLM(cfg.Model, spec, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		profiles[spec.Name] = prof
+	}
+	pprof := profiles[cfg.PrefillSpec.Name]
+	dprof := profiles[cfg.DecodeSpec.Name]
+	c.router = newRouter(shards.Env(0), n, cfg.Route, func(m string) (time.Duration, error) {
+		// Per-dispatch debt for the cost-weighted policy: a representative
+		// prefill pass, or a representative decode residency.
+		if m == decodeModel(cfg.Model) {
+			return dprof.DecodeStep(1, 512) * 64, nil
+		}
+		return pprof.Prefill(256), nil
+	})
+	if cfg.Slim {
+		c.router.setSlim()
+	}
+	prefillDevs := make([]int, 0, cfg.PrefillReplicas)
+	decodeDevs := make([]int, 0, cfg.DecodeReplicas)
+
+	for i := 0; i < n; i++ {
+		role, spec, prof := llm.PrefillRole, cfg.PrefillSpec, pprof
+		if i >= cfg.PrefillReplicas {
+			role, spec, prof = llm.DecodeRole, cfg.DecodeSpec, dprof
+		}
+		env := shards.Env(i + 1)
+		var inj *faults.Injector
+		if i < len(cfg.Faults) && cfg.Faults[i] != nil && cfg.Faults[i].Enabled() {
+			inj = faults.New(cfg.Seed+int64(i)*1031, *cfg.Faults[i])
+		}
+		srv, err := serving.NewLLMServer(env, serving.LLMConfig{
+			Spec:           spec,
+			Model:          cfg.Model,
+			Role:           role,
+			MaxSeqs:        cfg.MaxSeqs,
+			MaxBatchTokens: cfg.MaxBatchTokens,
+			MaxQueue:       cfg.MaxQueue,
+			BlockTokens:    cfg.BlockTokens,
+			MaxStepTime:    cfg.MaxStepTime,
+			Seed:           cfg.Seed + int64(i)*101,
+			Faults:         inj,
+			Obs:            c.children[i+1],
+			Device:         i,
+			IsolateRand:    true,
+			Slim:           cfg.Slim,
+			Profile:        prof,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: device %d: %w", i, err)
+		}
+		c.servers = append(c.servers, srv)
+		if role == llm.PrefillRole {
+			prefillDevs = append(prefillDevs, i)
+			c.links = append(c.links, llm.NewLink(cfg.LinkLatency, cfg.LinkBytesPerSec))
+		} else {
+			decodeDevs = append(decodeDevs, i)
+		}
+
+		i, srv, env := i, srv, env
+		devRec := c.children[i+1]
+		warm := llmWarmupFor(cfg)
+		srv.Device().SetCrashObserver(func(recovery time.Duration) {
+			// Device-side: unwind every live sequence (their done events fan
+			// drained-attempt reports back), arm the revival timer on our own
+			// heap, and tell the front-end to mark us dead.
+			drained := srv.OnCrash()
+			devRec.Instant(obs.LayerCluster, "crash_drain", obs.NoReq, obs.NoClass, i, int64(drained))
+			if recovery > 0 {
+				env.Schedule(recovery, func() { srv.Device().Revive(warm) })
+			}
+			c.shards.Send(i+1, 0, c.net, func() { c.crashReported(i) })
+		})
+		srv.Device().SetReadyObserver(func() {
+			c.shards.Send(i+1, 0, c.net, func() { c.readyReported(i) })
+		})
+	}
+	c.router.setReplicas(prefillModel(cfg.Model), prefillDevs)
+	c.router.setReplicas(decodeModel(cfg.Model), decodeDevs)
+	return c, nil
+}
+
+// llmWarmupFor models a replica's restart cost: base overhead plus
+// re-copying the resident weights over the H2D link (an LLM replica always
+// has its weights placed, unlike the lazy CNN fleet).
+func llmWarmupFor(cfg LLMConfig) time.Duration {
+	warm := cfg.WarmupBase
+	if bytes, err := model.LLMWeightsBytes(cfg.Model); err == nil {
+		warm += time.Duration(float64(bytes) / cfg.H2DBandwidth * float64(time.Second))
+	}
+	return warm
+}
+
+func (c *LLMCluster) crashReported(dev int) {
+	c.router.MarkDead(dev)
+	c.crashes++
+	c.crashesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "crash", obs.NoReq, obs.NoClass, dev, 0)
+}
+
+func (c *LLMCluster) readyReported(dev int) {
+	c.router.Revive(dev)
+	c.revives++
+	c.revivesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "revive", obs.NoReq, obs.NoClass, dev, 0)
+}
+
+// SubmitEvent routes one generation request into the prefill pool. It must
+// run in shard 0's execution context (an event callback or process on
+// FrontEnv). Routing errors (every replica dead) are synchronous; a
+// replica's own rejection arrives asynchronously as a failed attempt.
+func (c *LLMCluster) SubmitEvent(class overload.Class, prompt, output int) (*LLMRequest, error) {
+	dev, err := c.router.Route(prefillModel(c.cfg.Model), false)
+	if err != nil {
+		return nil, err
+	}
+	r := &LLMRequest{
+		ID:           c.reqCount,
+		Class:        class,
+		PromptTokens: prompt,
+		OutputTokens: output,
+		PrefillDev:   dev,
+		DecodeDev:    -1,
+		ArriveAt:     c.shards.Env(0).Now(),
+	}
+	c.reqCount++
+	if !c.cfg.Slim {
+		c.requests = append(c.requests, r)
+	}
+	c.routesC.Inc()
+	c.rec.Instant(obs.LayerCluster, "llm_route", r.ID, int(class), obs.NoDevice, int64(dev))
+	c.dispatchPrefill(r, dev)
+	return r, nil
+}
+
+// dispatchPrefill sends one prefill attempt (first or recompute) to dev. The
+// request's current TokensOut rides along as have, so a recompute rebuilds
+// KV without re-emitting.
+func (c *LLMCluster) dispatchPrefill(r *LLMRequest, dev int) {
+	id := c.attempts
+	c.attempts++
+	c.attemptReq[id] = r
+	r.PrefillDev = dev
+	srv := c.servers[dev]
+	class, prompt, output, have := r.Class, r.PromptTokens, r.OutputTokens, r.TokensOut
+	mname := c.cfg.Model
+	c.shards.Send(0, dev+1, c.net, func() {
+		inner, err := srv.Submit(mname, class, prompt, output, have)
+		if err != nil {
+			c.shards.Send(dev+1, 0, c.net, func() { c.prefillDone(id, dev, llmReport{err: err}) })
+			return
+		}
+		inner.Done().Subscribe(func() {
+			rep := llmReport{
+				tokensOut:    inner.TokensOut,
+				kvTokens:     inner.KVTokens(),
+				firstTokenAt: inner.FirstTokenAt,
+				lastTokenAt:  inner.LastTokenAt,
+				handedOff:    inner.HandedOff,
+				err:          inner.Err,
+			}
+			c.shards.Send(dev+1, 0, c.net, func() { c.prefillDone(id, dev, rep) })
+		})
+	})
+}
+
+// prefillDone folds a prefill attempt's report in on shard 0: book the KV
+// shipment on the device's egress link and dispatch the decode ingest, or
+// settle/fail over.
+func (c *LLMCluster) prefillDone(id, dev int, rep llmReport) {
+	r := c.attemptReq[id]
+	delete(c.attemptReq, id)
+	c.router.release(dev)
+	if r.settled {
+		return
+	}
+	c.absorb(r, rep)
+	if rep.err != nil {
+		c.attemptFailed(r, rep)
+		return
+	}
+	if !rep.handedOff {
+		// The prefill pass already met the budget (single-token outputs).
+		c.settle(r, nil)
+		return
+	}
+	ddev, err := c.router.Route(decodeModel(c.cfg.Model), false)
+	if err != nil {
+		c.settle(r, err)
+		return
+	}
+	r.DecodeDev = ddev
+	c.routesC.Inc()
+	kvPerTok, _ := model.LLMKVBytesPerToken(c.cfg.Model)
+	bytes := int64(rep.kvTokens) * kvPerTok
+	now := c.shards.Env(0).Now()
+	// The link index is the prefill device's position in the prefill pool;
+	// prefill devices are 0..P-1, so it is dev itself.
+	done := c.links[dev].Transfer(now, bytes)
+	c.handoffsC.Inc()
+	c.rec.Instant(obs.LayerCluster, "llm_handoff", r.ID, int(r.Class), dev, bytes)
+	c.dispatchDecode(r, ddev, rep, done.Sub(now))
+}
+
+// dispatchDecode sends the ingest to the decode replica after the KV
+// transfer completes.
+func (c *LLMCluster) dispatchDecode(r *LLMRequest, dev int, rep llmReport, delay time.Duration) {
+	id := c.attempts
+	c.attempts++
+	c.attemptReq[id] = r
+	srv := c.servers[dev]
+	class, prompt, output := r.Class, r.PromptTokens, r.OutputTokens
+	have := rep.tokensOut
+	arriveAt, firstAt, lastAt := r.ArriveAt, r.FirstTokenAt, r.LastTokenAt
+	c.shards.Send(0, dev+1, delay, func() {
+		inner, err := srv.Ingest(class, prompt, output, have, arriveAt, firstAt, lastAt)
+		if err != nil {
+			c.shards.Send(dev+1, 0, c.net, func() { c.decodeDone(id, dev, llmReport{tokensOut: have, err: err}) })
+			return
+		}
+		inner.Done().Subscribe(func() {
+			drep := llmReport{
+				tokensOut:    inner.TokensOut,
+				firstTokenAt: inner.FirstTokenAt,
+				lastTokenAt:  inner.LastTokenAt,
+				err:          inner.Err,
+			}
+			c.shards.Send(dev+1, 0, c.net, func() { c.decodeDone(id, dev, drep) })
+		})
+	})
+}
+
+// decodeDone folds a decode attempt's report in on shard 0.
+func (c *LLMCluster) decodeDone(id, dev int, rep llmReport) {
+	r := c.attemptReq[id]
+	delete(c.attemptReq, id)
+	c.router.release(dev)
+	if r.settled {
+		return
+	}
+	c.absorb(r, rep)
+	if rep.err != nil {
+		c.attemptFailed(r, rep)
+		return
+	}
+	c.settle(r, nil)
+}
+
+// absorb merges an attempt's token progress into the front-end record.
+// TokensOut only grows (conservation: recomputes re-emit nothing), and the
+// first-token stamp is set exactly once.
+func (c *LLMCluster) absorb(r *LLMRequest, rep llmReport) {
+	if rep.tokensOut > r.TokensOut {
+		r.TokensOut = rep.tokensOut
+	}
+	if r.FirstTokenAt == 0 && rep.firstTokenAt != 0 {
+		r.FirstTokenAt = rep.firstTokenAt
+	}
+	if rep.lastTokenAt > r.LastTokenAt {
+		r.LastTokenAt = rep.lastTokenAt
+	}
+}
+
+// attemptFailed decides between failover and settlement for a failed
+// attempt. Only drains (crashes) fail over — capacity errors (shed,
+// KV exhaustion) would fail identically elsewhere.
+func (c *LLMCluster) attemptFailed(r *LLMRequest, rep llmReport) {
+	if errors.Is(rep.err, serving.ErrDrained) && r.Hops < c.cfg.MaxFailovers {
+		if next, rerr := c.router.Route(prefillModel(c.cfg.Model), true); rerr == nil {
+			r.Hops++
+			c.failovers++
+			c.failoversC.Inc()
+			c.rec.Instant(obs.LayerCluster, "llm_failover", r.ID, int(r.Class), obs.NoDevice, int64(next))
+			c.dispatchPrefill(r, next)
+			return
+		}
+	}
+	c.settle(r, rep.err)
+}
+
+// settle decides the request on shard 0.
+func (c *LLMCluster) settle(r *LLMRequest, err error) {
+	r.settled = true
+	r.Err = err
+	r.FinishAt = c.shards.Env(0).Now()
+	c.tokensDelivered += r.TokensOut
+	switch {
+	case err == nil:
+		c.completed++
+		if ttft := r.TTFT(); ttft > 0 {
+			c.ttfts = append(c.ttfts, ttft.Seconds())
+		}
+		if tpot := r.TPOT(); tpot > 0 {
+			c.tpots = append(c.tpots, tpot.Seconds())
+		}
+	case errors.Is(err, serving.ErrQueueFull):
+		c.shed++
+	default:
+		c.failed++
+		if r.TokensOut > 0 {
+			c.partial++
+			c.partialTokens += r.TokensOut
+		}
+	}
+	c.rec.Instant(obs.LayerCluster, "llm_settle", r.ID, int(r.Class), obs.NoDevice, int64(r.TokensOut))
+}
+
+// Engine returns which execution engine the fleet runs on.
+func (c *LLMCluster) Engine() Engine { return c.engine }
+
+// FrontEnv returns shard 0's environment — schedule arrival generators here.
+func (c *LLMCluster) FrontEnv() *sim.Env { return c.shards.Env(0) }
+
+// Router exposes the routing layer.
+func (c *LLMCluster) Router() *Router { return c.router }
+
+// Server returns device i's LLM serving replica.
+func (c *LLMCluster) Server(i int) *serving.LLMServer { return c.servers[i] }
+
+// Devices returns the fleet size (prefill + decode).
+func (c *LLMCluster) Devices() int { return len(c.servers) }
+
+// Requests returns all fleet-level requests; nil in Slim mode.
+func (c *LLMCluster) Requests() []*LLMRequest { return c.requests }
+
+// OutstandingAttempts returns dispatch attempts with no report folded back
+// yet; zero after quiescence, or an attempt's completion was lost.
+func (c *LLMCluster) OutstandingAttempts() int { return len(c.attemptReq) }
+
+// Run executes the simulation to completion across all shards.
+func (c *LLMCluster) Run() error { return c.shards.Run() }
+
+// Shutdown terminates remaining processes on every shard. Call once after
+// Run.
+func (c *LLMCluster) Shutdown() { c.shards.Shutdown() }
+
+// FinishObs folds the per-shard recorders onto cfg.Obs under one boundary
+// label. Call once after Run; a no-op when recording is off.
+func (c *LLMCluster) FinishObs(label string) {
+	if c.cfg.Obs == nil {
+		return
+	}
+	c.cfg.Obs.Merge(label, c.children)
+}
+
+// LLMClusterStats summarizes a disaggregated fleet's run. Rates use the
+// shard horizon as the elapsed-time denominator so both engines report
+// identical values; everything is DeepEqual-comparable for differential
+// tests.
+type LLMClusterStats struct {
+	Devices         int
+	PrefillReplicas int
+	DecodeReplicas  int
+	// Conservation: Requests == Completed + Failed + Shed after quiescence.
+	Requests  int
+	Completed int
+	Failed    int
+	Shed      int
+	// Partial counts failed requests that had delivered tokens;
+	// PartialTokens those tokens.
+	Partial       int
+	PartialTokens int
+	Failovers     int
+	Crashes       int
+	Revives       int
+	// TokensDelivered sums final TokensOut over settled requests; token
+	// conservation demands it equal the per-device TokensEmitted sum.
+	TokensDelivered int
+	TokensEmitted   int
+	Preemptions     int
+	// Transfers and TransferBytes tally the KV handoff links.
+	Transfers     int
+	TransferBytes int64
+	// Tokens holds fleet-level TTFT/TPOT percentiles over completions.
+	Tokens metrics.TokenPercentiles
+	// Goodput is completions/s; TokensPerSec delivered tokens/s.
+	Goodput      float64
+	TokensPerSec float64
+	PerDevice    []serving.LLMStats
+	Decisions    int
+	DecisionHash uint64
+}
+
+// Stats summarizes the fleet's activity so far.
+func (c *LLMCluster) Stats() LLMClusterStats {
+	st := LLMClusterStats{
+		Devices:         len(c.servers),
+		PrefillReplicas: c.cfg.PrefillReplicas,
+		DecodeReplicas:  c.cfg.DecodeReplicas,
+		Requests:        c.reqCount,
+		Completed:       c.completed,
+		Failed:          c.failed,
+		Shed:            c.shed,
+		Partial:         c.partial,
+		PartialTokens:   c.partialTokens,
+		Failovers:       c.failovers,
+		Crashes:         c.crashes,
+		Revives:         c.revives,
+		TokensDelivered: c.tokensDelivered,
+		Tokens:          metrics.TokenPercentilesOf(c.ttfts, c.tpots),
+		Decisions:       c.router.Count(),
+		DecisionHash:    c.router.DecisionHash(),
+	}
+	for _, srv := range c.servers {
+		ds := srv.Stats()
+		st.PerDevice = append(st.PerDevice, ds)
+		st.TokensEmitted += ds.TokensEmitted
+		st.Preemptions += ds.Preemptions
+	}
+	for _, l := range c.links {
+		st.Transfers += l.Transfers()
+		st.TransferBytes += l.Bytes()
+	}
+	if now := c.shards.Horizon(); now > 0 {
+		st.Goodput = float64(st.Completed) / now.Seconds()
+		st.TokensPerSec = float64(st.TokensDelivered) / now.Seconds()
+	}
+	return st
+}

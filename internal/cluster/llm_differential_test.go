@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"olympian/internal/faults"
+	"olympian/internal/gpu"
+	"olympian/internal/model"
+	"olympian/internal/obs"
+)
+
+// llmScenario is one LLM differential workload: a fleet config builder plus
+// a deterministic arrival pattern with per-request sequence dimensions.
+type llmScenario struct {
+	name string
+	cfg  func() LLMConfig
+	n    int
+	gap  time.Duration
+	dims func(i int) (prompt, output int)
+}
+
+// llmScenarios mirror the llm experiment shapes: a clean disaggregated
+// fleet, one with crashes mid-generation on both roles, and one with a
+// starved decode pool that preempts continuously.
+func llmScenarios() []llmScenario {
+	return []llmScenario{
+		{
+			name: "disaggregated",
+			cfg: func() LLMConfig {
+				return LLMConfig{
+					Seed:            17,
+					Model:           model.LLMTiny,
+					PrefillReplicas: 2,
+					DecodeReplicas:  2,
+				}
+			},
+			n:   60,
+			gap: 250 * time.Microsecond,
+			dims: func(i int) (int, int) {
+				return 16 + (i%5)*32, 8 + (i%9)*16
+			},
+		},
+		{
+			name: "crash-mid-generation",
+			cfg: func() LLMConfig {
+				return LLMConfig{
+					Seed:            29,
+					Model:           model.LLMTiny,
+					PrefillReplicas: 1,
+					DecodeReplicas:  2,
+					Faults: []*faults.Plan{
+						// Prefill replica: transient kernel faults.
+						{KernelFailRate: 0.02},
+						// First decode replica: crash with restart mid-run.
+						{Crashes: []faults.CrashEvent{{At: 5 * time.Millisecond, Recovery: 8 * time.Millisecond}}},
+						// Second decode replica: a permanent crash late.
+						{Crashes: []faults.CrashEvent{{At: 18 * time.Millisecond}}},
+					},
+				}
+			},
+			n:   48,
+			gap: 300 * time.Microsecond,
+			dims: func(i int) (int, int) {
+				return 24 + (i%4)*40, 60 + (i%5)*30
+			},
+		},
+		{
+			name: "kv-pressure",
+			cfg: func() LLMConfig {
+				weights, _ := model.LLMWeightsBytes(model.LLMTiny)
+				spec := gpu.GTX1080Ti
+				spec.Name = "starved"
+				spec.MemoryBytes = weights + (512 << 10)
+				return LLMConfig{
+					Seed:            41,
+					Model:           model.LLMTiny,
+					PrefillReplicas: 1,
+					DecodeReplicas:  1,
+					DecodeSpec:      spec,
+					MaxSeqs:         6,
+				}
+			},
+			n:   30,
+			gap: 200 * time.Microsecond,
+			dims: func(i int) (int, int) {
+				return 40 + (i%3)*24, 50 + (i%4)*25
+			},
+		},
+	}
+}
+
+// runLLM executes one scenario on the given engine and returns its stats.
+func runLLM(t *testing.T, sc llmScenario, engine Engine, workers int, rec *obs.Recorder) LLMClusterStats {
+	t.Helper()
+	cfg := sc.cfg()
+	cfg.Workers = workers
+	cfg.Obs = rec
+	c, err := NewLLM(cfg, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.FrontEnv()
+	for i := 0; i < sc.n; i++ {
+		prompt, output := sc.dims(i)
+		env.Schedule(time.Duration(i)*sc.gap, func() {
+			c.SubmitEvent(0, prompt, output)
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	c.FinishObs("run:llm-" + sc.name)
+	st := c.Stats()
+	checkLLMClusterConservation(t, c, st)
+	return st
+}
+
+// TestLLMEnginesBitIdentical is the disaggregation invariant: for every
+// llm-shaped scenario — including crashes mid-generation and KV-pressure
+// preemption — the parallel engine at several worker counts must produce
+// stats, decision hashes, and lifecycle trace bytes identical to the
+// single-heap reference.
+func TestLLMEnginesBitIdentical(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, sc := range llmScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			refRec := obs.NewRecorder()
+			ref := runLLM(t, sc, SingleHeap, 0, refRec)
+			refTrace, refProm := renderObs(t, refRec)
+			if ref.DecisionHash == 0 {
+				t.Fatal("reference run produced a zero decision hash")
+			}
+			if ref.Completed == 0 {
+				t.Fatalf("reference run completed nothing: %+v", ref)
+			}
+			for _, workers := range []int{1, 2} {
+				rec := obs.NewRecorder()
+				got := runLLM(t, sc, Sharded, workers, rec)
+				if !reflect.DeepEqual(ref, got) {
+					t.Errorf("workers=%d: stats differ from single-heap reference\nref: %+v\ngot: %+v", workers, ref, got)
+				}
+				if got.DecisionHash != ref.DecisionHash {
+					t.Errorf("workers=%d: decision hash %x, want %x", workers, got.DecisionHash, ref.DecisionHash)
+				}
+				gotTrace, gotProm := renderObs(t, rec)
+				if gotTrace != refTrace {
+					t.Errorf("workers=%d: lifecycle trace bytes differ from single-heap reference", workers)
+				}
+				if gotProm != refProm {
+					t.Errorf("workers=%d: metrics differ from single-heap reference", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestLLMCrashScenarioExercisesFailover guards the crash scenario against
+// rotting into a no-op: it must actually crash devices mid-generation,
+// fail over, and leave partial work visible.
+func TestLLMCrashScenarioExercisesFailover(t *testing.T) {
+	st := runLLM(t, llmScenarios()[1], SingleHeap, 0, nil)
+	if st.Crashes < 2 {
+		t.Fatalf("want both decode crashes, got %+v", st)
+	}
+	if st.Failovers == 0 {
+		t.Fatalf("crash scenario drove no failovers: %+v", st)
+	}
+	if st.Completed == 0 {
+		t.Fatalf("nothing survived the crashes: %+v", st)
+	}
+}
+
+// TestLLMPressureScenarioPreempts guards the kv-pressure scenario likewise.
+func TestLLMPressureScenarioPreempts(t *testing.T) {
+	st := runLLM(t, llmScenarios()[2], SingleHeap, 0, nil)
+	if st.Preemptions == 0 {
+		t.Fatalf("pressure scenario never preempted: %+v", st)
+	}
+}

@@ -420,3 +420,28 @@ func TestOverloadControl(t *testing.T) {
 		t.Fatalf("hedged fleet accounted %+.0f extra completions, want exactly 0", over)
 	}
 }
+
+func TestLLMServingPlane(t *testing.T) {
+	r, err := LLM(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metric("bit_identical") != 1 {
+		t.Fatal("LLM engines diverged between single-heap and sharded")
+	}
+	if r.Metric("invariant_violations") != 0 {
+		t.Fatalf("%v token/KV conservation violations", r.Metric("invariant_violations"))
+	}
+	// Saturating the prefill replica must blow up time-to-first-token.
+	if ratio := r.Metric("ttft_p99_load_ratio"); ratio < 2 {
+		t.Fatalf("TTFT p99 grew only %.1fx from 0.5x to 4x load; the sweep is not saturating", ratio)
+	}
+	// KV pressure must surface as preemption and a degraded TPOT tail,
+	// never as lost tokens (covered by the violation count above).
+	if r.Metric("pressure_preemptions") == 0 {
+		t.Fatal("starved decode pool never preempted")
+	}
+	if ratio := r.Metric("pressure_tpot_ratio"); ratio <= 1 {
+		t.Fatalf("KV pressure did not degrade the TPOT tail: %.2fx", ratio)
+	}
+}

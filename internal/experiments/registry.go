@@ -44,6 +44,7 @@ func Registry() []Entry {
 		{"overload", "Overload control: adaptive admission, priority shedding, hedging", Overload},
 		{"sharded", "Parallel simulation core: sharded engines, identity and scale", Sharded},
 		{"recovery", "Crash recovery: goodput retention, MTTR, availability", Recovery},
+		{"llm", "LLM serving: TTFT/TPOT under load, KV pressure, disaggregation", LLM},
 	}
 }
 

@@ -1,0 +1,108 @@
+package invariant
+
+import (
+	"fmt"
+
+	"olympian/internal/cluster"
+	"olympian/internal/serving"
+)
+
+// CheckLLMServing audits one LLM replica's stats after its run quiesced:
+// request conservation across the four terminal states, token conservation
+// between the device counter and the per-request sums, and KV-cache
+// quiescence (a leaked block means some sequence was never released).
+func CheckLLMServing(scope string, st serving.LLMStats) []Violation {
+	var vs []Violation
+	if got := st.Completed + st.HandedOff + st.Failed + st.Shed; got != st.Requests {
+		vs = append(vs, violatef("llm-serving-conservation",
+			"%s: %d requests but completed %d + handed off %d + failed %d + shed %d = %d",
+			scope, st.Requests, st.Completed, st.HandedOff, st.Failed, st.Shed, got))
+	}
+	if st.TokensEmitted != st.EmittedByRequests {
+		vs = append(vs, violatef("llm-token-conservation",
+			"%s: device emitted %d tokens but terminal requests account for %d",
+			scope, st.TokensEmitted, st.EmittedByRequests))
+	}
+	if st.KV.BlocksInUse != 0 || st.KV.Seqs != 0 {
+		vs = append(vs, violatef("llm-kv-leak",
+			"%s: kv cache not quiescent: %d blocks held by %d sequences",
+			scope, st.KV.BlocksInUse, st.KV.Seqs))
+	}
+	if st.PartialTokens > 0 && st.Partial == 0 {
+		vs = append(vs, violatef("llm-partial-accounting",
+			"%s: %d partial tokens with no partial requests", scope, st.PartialTokens))
+	}
+	return vs
+}
+
+// CheckLLMStats audits a quiesced disaggregated fleet's aggregate stats:
+// every request settled exactly once, every delivered token emitted exactly
+// once fleet-wide (Σ device TokensEmitted == Σ request TokensOut — a
+// recompute after failover rebuilds KV but re-emits nothing), and each
+// replica conserves its own arrivals and tokens.
+func CheckLLMStats(st cluster.LLMClusterStats) []Violation {
+	var vs []Violation
+	if got := st.Completed + st.Failed + st.Shed; got != st.Requests {
+		vs = append(vs, violatef("llm-cluster-conservation",
+			"%d requests but %d completed + %d failed + %d shed = %d settled",
+			st.Requests, st.Completed, st.Failed, st.Shed, got))
+	}
+	if st.TokensEmitted != st.TokensDelivered {
+		vs = append(vs, violatef("llm-cluster-token-conservation",
+			"devices emitted %d tokens but requests were delivered %d",
+			st.TokensEmitted, st.TokensDelivered))
+	}
+	if st.Revives > st.Crashes {
+		vs = append(vs, violatef("revive-count", "%d revives exceed %d crashes", st.Revives, st.Crashes))
+	}
+	if st.PartialTokens > 0 && st.Partial == 0 {
+		vs = append(vs, violatef("llm-partial-accounting",
+			"cluster reports %d partial tokens with no partial requests", st.PartialTokens))
+	}
+	for i, ds := range st.PerDevice {
+		vs = append(vs, CheckLLMServing(fmt.Sprintf("device %d", i), ds)...)
+	}
+	return vs
+}
+
+// CheckLLM audits a quiesced fleet beyond its stats: no dispatch attempt in
+// flight, no router slot held, and every retained request terminal with
+// token counts matching the aggregate tally.
+func CheckLLM(c *cluster.LLMCluster, st cluster.LLMClusterStats) []Violation {
+	vs := CheckLLMStats(st)
+	if n := c.OutstandingAttempts(); n != 0 {
+		vs = append(vs, violatef("attempts-quiesced",
+			"%d dispatch attempts still in flight after the run quiesced", n))
+	}
+	rt := c.Router()
+	for d := 0; d < c.Devices(); d++ {
+		if n := rt.Outstanding(d); n != 0 {
+			vs = append(vs, violatef("router-outstanding",
+				"device %d holds %d outstanding routing slots after quiescence", d, n))
+		}
+	}
+	if reqs := c.Requests(); reqs != nil {
+		tokens := 0
+		for _, r := range reqs {
+			if !r.Finished() {
+				vs = append(vs, violatef("request-stranded",
+					"llm request %d never reached a terminal state", r.ID))
+				continue
+			}
+			tokens += r.TokensOut
+			if r.TokensOut > r.OutputTokens {
+				vs = append(vs, violatef("llm-over-generation",
+					"request %d delivered %d of %d budgeted tokens", r.ID, r.TokensOut, r.OutputTokens))
+			}
+			if r.Err == nil && r.TokensOut != r.OutputTokens {
+				vs = append(vs, violatef("llm-under-generation",
+					"completed request %d delivered %d of %d tokens", r.ID, r.TokensOut, r.OutputTokens))
+			}
+		}
+		if tokens != st.TokensDelivered {
+			vs = append(vs, violatef("llm-delivery-tally",
+				"retained requests sum to %d delivered tokens, stats say %d", tokens, st.TokensDelivered))
+		}
+	}
+	return vs
+}

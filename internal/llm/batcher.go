@@ -1,0 +1,167 @@
+package llm
+
+// Batcher is the continuous-batching membership policy: which sequences are
+// waiting for prefill, which have KV resident and wait for a batch slot, and
+// which are in the in-flight decode batch. Sequences join and leave the
+// batch only at token boundaries — between decode steps — instead of the
+// fixed batch-then-flush of the CNN path.
+//
+// The batch is bounded by min(MaxSeqs, MaxBatchTokens): every decode
+// sequence contributes exactly one token per step, so the token budget caps
+// the batch width; a prefill pass processes its whole prompt in one kernel
+// and therefore always runs alone (chunked prefill is out of scope).
+//
+// The Batcher is pure bookkeeping — no clock, no randomness — so both
+// cluster engines drive bit-identical membership sequences through it.
+type Batcher struct {
+	maxSeqs int
+
+	queue   []*Request // waiting for (re)prefill, FCFS; preemptions re-enter at the front
+	ready   []*Request // prefilled, KV resident, waiting for a slot
+	running []*Request // in-flight decode batch, in join order
+}
+
+// NewBatcher bounds the decode batch by maxSeqs sequences and maxBatchTokens
+// decode tokens per step (≤0 means unbounded for that knob; both unbounded
+// defaults to 8 slots).
+func NewBatcher(maxSeqs, maxBatchTokens int) *Batcher {
+	slots := maxSeqs
+	if slots <= 0 || (maxBatchTokens > 0 && maxBatchTokens < slots) {
+		slots = maxBatchTokens
+	}
+	if slots <= 0 {
+		slots = 8
+	}
+	return &Batcher{maxSeqs: slots}
+}
+
+// Slots returns the effective batch bound.
+func (b *Batcher) Slots() int { return b.maxSeqs }
+
+// Enqueue appends a request to the prefill queue.
+func (b *Batcher) Enqueue(r *Request) { b.queue = append(b.queue, r) }
+
+// EnqueueFront puts a preempted request at the head of the prefill queue:
+// recomputation preserves its position ahead of newer arrivals.
+func (b *Batcher) EnqueueFront(r *Request) {
+	b.queue = append([]*Request{r}, b.queue...)
+}
+
+// QueueLen returns how many requests are waiting for prefill.
+func (b *Batcher) QueueLen() int { return len(b.queue) }
+
+// Ready returns how many prefilled sequences are waiting for a slot.
+func (b *Batcher) Ready() int { return len(b.ready) }
+
+// Running returns the in-flight decode batch in join order. Callers must not
+// mutate the slice.
+func (b *Batcher) Running() []*Request { return b.running }
+
+// HasWork reports whether anything is queued, ready, or running.
+func (b *Batcher) HasWork() bool {
+	return len(b.queue) > 0 || len(b.ready) > 0 || len(b.running) > 0
+}
+
+// Idle reports the opposite of HasWork.
+func (b *Batcher) Idle() bool { return !b.HasWork() }
+
+// NextPrefill pops the queue head when a slot could eventually absorb it —
+// prefilling a sequence the batch has no room for would only pin KV.
+func (b *Batcher) NextPrefill() *Request {
+	if len(b.queue) == 0 || len(b.running)+len(b.ready) >= b.maxSeqs {
+		return nil
+	}
+	r := b.queue[0]
+	b.queue[0] = nil
+	b.queue = b.queue[1:]
+	return r
+}
+
+// Admit marks a prefilled (or ingested) sequence ready to join the batch at
+// the next token boundary.
+func (b *Batcher) Admit(r *Request) { b.ready = append(b.ready, r) }
+
+// PeekReady returns the next sequence Promote would admit, or nil when none
+// is ready or the batch is full — time-budgeted engines inspect it before
+// committing the join.
+func (b *Batcher) PeekReady() *Request {
+	if len(b.ready) == 0 || len(b.running) >= b.maxSeqs {
+		return nil
+	}
+	return b.ready[0]
+}
+
+// PromoteOne joins exactly one ready sequence (the PeekReady one) to the
+// batch; nil when none is admissible.
+func (b *Batcher) PromoteOne() *Request {
+	r := b.PeekReady()
+	if r == nil {
+		return nil
+	}
+	b.ready[0] = nil
+	b.ready = b.ready[1:]
+	b.running = append(b.running, r)
+	return r
+}
+
+// Promote moves ready sequences into the running batch while slots remain —
+// the token-boundary join. Returns the sequences that joined.
+func (b *Batcher) Promote() []*Request {
+	var joined []*Request
+	for len(b.ready) > 0 && len(b.running) < b.maxSeqs {
+		r := b.ready[0]
+		b.ready[0] = nil
+		b.ready = b.ready[1:]
+		b.running = append(b.running, r)
+		joined = append(joined, r)
+	}
+	return joined
+}
+
+// Leave removes a finished (or failed) sequence from the running batch — the
+// token-boundary leave.
+func (b *Batcher) Leave(r *Request) {
+	for i, x := range b.running {
+		if x == r {
+			b.running = append(b.running[:i], b.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// Victim picks and removes the preemption victim: the newest running
+// sequence (highest local ID — the latest arrival has the least sunk cost).
+// With one or zero sequences running it returns nil: a sequence that cannot
+// grow even alone must fail, not self-preempt forever.
+func (b *Batcher) Victim() *Request {
+	if len(b.running) < 2 {
+		return nil
+	}
+	vi := 0
+	for i, r := range b.running {
+		if r.ID > b.running[vi].ID {
+			vi = i
+		}
+	}
+	v := b.running[vi]
+	b.running = append(b.running[:vi], b.running[vi+1:]...)
+	return v
+}
+
+// KVTokens sums the cache footprint of the running batch — the k in the
+// decode-step cost model.
+func (b *Batcher) KVTokens() int {
+	total := 0
+	for _, r := range b.running {
+		total += r.KVTokens()
+	}
+	return total
+}
+
+// TakeAll empties every set and returns the former members in queue, ready,
+// running order — crash unwinding fails them all.
+func (b *Batcher) TakeAll() (queued, ready, running []*Request) {
+	queued, ready, running = b.queue, b.ready, b.running
+	b.queue, b.ready, b.running = nil, nil, nil
+	return queued, ready, running
+}

@@ -147,6 +147,28 @@ func (p Percentiles) String() string {
 		p.N, p.P50*1e3, p.P95*1e3, p.P99*1e3)
 }
 
+// TokenPercentiles summarises the two token-level latency metrics of an
+// autoregressive serving run: time-to-first-token (arrival to first emitted
+// token — prefill queueing plus prefill plus any KV-transfer wait) and
+// time-per-output-token (mean inter-token gap per request over its delivered
+// tokens). Both in seconds; zero values mean "no samples".
+type TokenPercentiles struct {
+	TTFT Percentiles
+	TPOT Percentiles
+}
+
+// TokenPercentilesOf computes TTFT/TPOT percentiles from per-request samples
+// in seconds. The slices are independent: a one-token request contributes a
+// TTFT sample but no TPOT sample.
+func TokenPercentilesOf(ttfts, tpots []float64) TokenPercentiles {
+	return TokenPercentiles{TTFT: PercentilesOf(ttfts), TPOT: PercentilesOf(tpots)}
+}
+
+// String renders both metrics in milliseconds.
+func (tp TokenPercentiles) String() string {
+	return fmt.Sprintf("ttft[%s] tpot[%s]", tp.TTFT, tp.TPOT)
+}
+
 // CDFPoint is one (value, cumulative fraction) pair.
 type CDFPoint struct {
 	Value float64

@@ -1,0 +1,64 @@
+package profiler
+
+import (
+	"testing"
+	"time"
+
+	"olympian/internal/gpu"
+	"olympian/internal/model"
+)
+
+func TestProfileLLMFitsCostCurves(t *testing.T) {
+	prof, err := ProfileLLM(model.LLMTiny, gpu.GTX1080Ti, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fits must reproduce the ground truth plus launch latency at points
+	// the calibration never measured.
+	for _, tk := range []int{64, 300, 1000} {
+		truth, _ := model.LLMPrefillTime(model.LLMTiny, tk)
+		want := truth + gpu.GTX1080Ti.LaunchLatency
+		got := prof.Prefill(tk)
+		if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Fatalf("prefill(%d) = %v, want ~%v", tk, got, want)
+		}
+	}
+	for _, pt := range []struct{ seqs, kv int }{{2, 100}, {5, 2000}, {16, 8000}} {
+		truth, _ := model.LLMDecodeStepTime(model.LLMTiny, pt.seqs, pt.kv)
+		want := truth + gpu.GTX1080Ti.LaunchLatency
+		got := prof.DecodeStep(pt.seqs, pt.kv)
+		if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Fatalf("decode(%d,%d) = %v, want ~%v", pt.seqs, pt.kv, got, want)
+		}
+	}
+	// Clock scaling must fold into the fit: a faster device predicts shorter.
+	fast := gpu.GTX1080Ti
+	fast.ClockScale = 2.0
+	pf, err := ProfileLLM(model.LLMTiny, fast, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.DecodeStep(8, 4000) >= prof.DecodeStep(8, 4000) {
+		t.Fatalf("faster clock must predict faster decode")
+	}
+}
+
+func TestProfileLLMRejectsNonLLM(t *testing.T) {
+	if _, err := ProfileLLM(model.Inception, gpu.GTX1080Ti, 1); err == nil {
+		t.Fatalf("CNN names must be rejected")
+	}
+}
+
+func TestProfileLLMDeterministic(t *testing.T) {
+	a, err := ProfileLLM(model.LLMTiny, gpu.GTX1080Ti, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileLLM(model.LLMTiny, gpu.GTX1080Ti, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same-seed profiles differ: %+v vs %+v", a, b)
+	}
+}
