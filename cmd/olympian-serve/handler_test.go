@@ -229,3 +229,40 @@ func TestLLMExperimentEndpoint(t *testing.T) {
 		t.Fatalf("llm run violated conservation: %v", metrics)
 	}
 }
+
+func TestLLMOverloadExperimentEndpoint(t *testing.T) {
+	h := newHandler()
+	rec, obj := do(t, h, "POST", "/experiments/llmoverload?quick=1", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("run status %d: %v", rec.Code, obj)
+	}
+	metrics := obj["metrics"].(map[string]any)
+	if metrics["bit_identical"].(float64) != 1 {
+		t.Fatalf("llmoverload engines diverged: %v", metrics)
+	}
+	if metrics["invariant_violations"].(float64) != 0 {
+		t.Fatalf("llmoverload run violated conservation: %v", metrics)
+	}
+	if metrics["plateau_ratio"].(float64) < 0.9 {
+		t.Fatalf("goodput collapsed past saturation: %v", metrics)
+	}
+
+	// The per-class SLO-attainment and truncation outcomes must surface on
+	// the scrape endpoint as experiment-metric gauges.
+	rec, _ = do(t, h, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	prom := rec.Body.String()
+	for _, metric := range []string{
+		"interactive_ttft_slo_attainment",
+		"batch_truncated_tokens",
+		"interactive_truncated_tokens",
+		"batch_absorb_frac",
+	} {
+		want := `olympian_experiment_metric{experiment="llmoverload",metric="` + metric + `"}`
+		if !strings.Contains(prom, want) {
+			t.Errorf("scrape output missing %s", want)
+		}
+	}
+}

@@ -28,6 +28,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"olympian/internal/faults"
@@ -67,6 +68,34 @@ type LLMConfig struct {
 	MaxQueue int
 	// BlockTokens is the KV-cache block granularity (default 16).
 	BlockTokens int
+	// TTFTDeadline and TPOTBudget arm per-request token SLOs on every
+	// replica: queued prefills past the TTFT deadline are shed un-run, and
+	// completions over the TPOT budget count as decode SLO misses.
+	TTFTDeadline time.Duration
+	TPOTBudget   time.Duration
+	// Admission, when non-nil, arms each replica's token-rate AIMD
+	// admission gate; ExpectedOutput is the predicted output length its
+	// cost model charges (0 = the request's own budget).
+	Admission      *overload.TokenAIMDConfig
+	ExpectedOutput int
+	// KVWatermark and DegradedTail arm degraded mode on every replica:
+	// above the watermark batch-class output budgets are truncated
+	// (serving.LLMConfig semantics).
+	KVWatermark  float64
+	DegradedTail int
+	// MaxRetries caps per-request retries after capacity rejections (shed,
+	// queue-full, KV exhaustion); 0 disables them. A retry re-dispatches
+	// through the crash-failover path — delivered tokens carried, never
+	// re-emitted — after a jittered exponential backoff, gated by the
+	// front-end retry budget.
+	MaxRetries int
+	// RetryBudgetMax and RetryRefund parameterise the front-end retry token
+	// pool (defaults 32 and 0.1 when MaxRetries > 0); RetryBackoff and
+	// RetryJitter the backoff delay (defaults 200µs and 0.2).
+	RetryBudgetMax float64
+	RetryRefund    float64
+	RetryBackoff   time.Duration
+	RetryJitter    float64
 	// MaxFailovers caps per-request re-dispatches after drains (default 2).
 	MaxFailovers int
 	// Route selects the routing policy (default LeastOutstanding).
@@ -106,6 +135,20 @@ func (cfg LLMConfig) withDefaults() LLMConfig {
 	if cfg.MaxFailovers <= 0 {
 		cfg.MaxFailovers = 2
 	}
+	if cfg.MaxRetries > 0 {
+		if cfg.RetryBudgetMax <= 0 {
+			cfg.RetryBudgetMax = 32
+		}
+		if cfg.RetryRefund <= 0 {
+			cfg.RetryRefund = 0.1
+		}
+		if cfg.RetryBackoff <= 0 {
+			cfg.RetryBackoff = 200 * time.Microsecond
+		}
+		if cfg.RetryJitter <= 0 {
+			cfg.RetryJitter = 0.2
+		}
+	}
 	if cfg.Route == 0 {
 		cfg.Route = LeastOutstanding
 	}
@@ -133,10 +176,17 @@ type LLMRequest struct {
 	// the request.
 	PrefillDev int
 	DecodeDev  int
-	// Hops counts failover re-dispatches after drains.
-	Hops int
+	// Hops counts failover re-dispatches after drains; Retries re-dispatches
+	// after capacity rejections (shed, queue-full, KV exhaustion).
+	Hops    int
+	Retries int
 	// TokensOut is the total output tokens delivered across all attempts.
 	TokensOut int
+	// Truncated is how many output-budget tokens degraded mode cut across
+	// all attempts: a completed request satisfies TokensOut + Truncated ==
+	// OutputTokens, and re-dispatches carry the reduced budget so a cut is
+	// never silently restored.
+	Truncated int
 	// ArriveAt/FirstTokenAt/LastTokenAt/FinishAt are front-end stamps in
 	// global virtual time.
 	ArriveAt     sim.Time
@@ -176,6 +226,8 @@ func (r *LLMRequest) TPOT() time.Duration {
 type llmReport struct {
 	tokensOut    int
 	kvTokens     int
+	truncated    int     // output-budget tokens this attempt's device cut
+	kvUtil       float64 // device KV utilization at report time (pressure signal)
 	firstTokenAt sim.Time
 	lastTokenAt  sim.Time
 	handedOff    bool
@@ -199,20 +251,29 @@ type LLMCluster struct {
 	reqCount   int
 	attempts   int
 
-	completed, failed, shed     int
-	partial, partialTokens      int
-	failovers, crashes, revives int
-	tokensDelivered             int
-	ttfts, tpots                []float64
+	retryBudget *overload.RetryBudget
+	retryRng    *rand.Rand
+
+	completed, failed, shed, expired int
+	partial, partialTokens           int
+	failovers, crashes, revives      int
+	retries, retryDenied             int
+	tokensDelivered, truncatedTokens int
+	ttfts, tpots                     []float64
+	perClass                         [overload.NumClasses]LLMClassStats
+	classTTFTs                       [overload.NumClasses][]float64
+	classTPOTs                       [overload.NumClasses][]float64
 
 	children []*obs.Recorder
 	rec      *obs.Recorder
 
-	routesC    *obs.Series
-	failoversC *obs.Series
-	handoffsC  *obs.Series
-	crashesC   *obs.Series
-	revivesC   *obs.Series
+	routesC      *obs.Series
+	failoversC   *obs.Series
+	handoffsC    *obs.Series
+	crashesC     *obs.Series
+	revivesC     *obs.Series
+	retriesC     *obs.Series
+	retryDeniedC *obs.Series
 }
 
 // prefillModel and decodeModel are the role pseudo-models the shared router
@@ -260,6 +321,10 @@ func NewLLM(cfg LLMConfig, engine Engine) (*LLMCluster, error) {
 	c.handoffsC = reg.Counter("olympian_cluster_kv_handoffs_total", "KV shipments booked on transfer links.")
 	c.crashesC = reg.Counter("olympian_cluster_crashes_total", "Devices crashed permanently or pending restart.")
 	c.revivesC = reg.Counter("olympian_cluster_revives_total", "Replicas re-admitted after restart warm-up.")
+	c.retriesC = reg.Counter("olympian_cluster_llm_retries_total", "Requests re-dispatched after capacity rejections.")
+	c.retryDeniedC = reg.Counter("olympian_cluster_llm_retry_denied_total", "Retries refused by the front-end retry budget.")
+	c.retryBudget = overload.NewRetryBudget(cfg.RetryBudgetMax, cfg.RetryRefund)
+	c.retryRng = rand.New(rand.NewSource(cfg.Seed ^ 0x72747279))
 
 	// Profile each distinct spec once; replicas share the fitted curves, and
 	// the cost-weighted router charges prefill debt from the same fit.
@@ -309,6 +374,12 @@ func NewLLM(cfg LLMConfig, engine Engine) (*LLMCluster, error) {
 			MaxQueue:       cfg.MaxQueue,
 			BlockTokens:    cfg.BlockTokens,
 			MaxStepTime:    cfg.MaxStepTime,
+			TTFTDeadline:   cfg.TTFTDeadline,
+			TPOTBudget:     cfg.TPOTBudget,
+			Admission:      cfg.Admission,
+			ExpectedOutput: cfg.ExpectedOutput,
+			KVWatermark:    cfg.KVWatermark,
+			DegradedTail:   cfg.DegradedTail,
 			Seed:           cfg.Seed + int64(i)*101,
 			Faults:         inj,
 			Obs:            c.children[i+1],
@@ -395,6 +466,7 @@ func (c *LLMCluster) SubmitEvent(class overload.Class, prompt, output int) (*LLM
 		ArriveAt:     c.shards.Env(0).Now(),
 	}
 	c.reqCount++
+	c.perClass[class].Submitted++
 	if !c.cfg.Slim {
 		c.requests = append(c.requests, r)
 	}
@@ -406,25 +478,31 @@ func (c *LLMCluster) SubmitEvent(class overload.Class, prompt, output int) (*LLM
 
 // dispatchPrefill sends one prefill attempt (first or recompute) to dev. The
 // request's current TokensOut rides along as have, so a recompute rebuilds
-// KV without re-emitting.
+// KV without re-emitting, and the output budget is reduced by any tokens a
+// previous attempt's degraded mode cut — a truncation is never silently
+// restored by a re-dispatch.
 func (c *LLMCluster) dispatchPrefill(r *LLMRequest, dev int) {
 	id := c.attempts
 	c.attempts++
 	c.attemptReq[id] = r
 	r.PrefillDev = dev
 	srv := c.servers[dev]
-	class, prompt, output, have := r.Class, r.PromptTokens, r.OutputTokens, r.TokensOut
+	class, prompt, have := r.Class, r.PromptTokens, r.TokensOut
+	output := r.OutputTokens - r.Truncated
 	mname := c.cfg.Model
 	c.shards.Send(0, dev+1, c.net, func() {
 		inner, err := srv.Submit(mname, class, prompt, output, have)
 		if err != nil {
-			c.shards.Send(dev+1, 0, c.net, func() { c.prefillDone(id, dev, llmReport{err: err}) })
+			rep := llmReport{err: err, kvUtil: srv.KVUtilization()}
+			c.shards.Send(dev+1, 0, c.net, func() { c.prefillDone(id, dev, rep) })
 			return
 		}
 		inner.Done().Subscribe(func() {
 			rep := llmReport{
 				tokensOut:    inner.TokensOut,
 				kvTokens:     inner.KVTokens(),
+				truncated:    inner.Truncated,
+				kvUtil:       srv.KVUtilization(),
 				firstTokenAt: inner.FirstTokenAt,
 				lastTokenAt:  inner.LastTokenAt,
 				handedOff:    inner.HandedOff,
@@ -442,6 +520,7 @@ func (c *LLMCluster) prefillDone(id, dev int, rep llmReport) {
 	r := c.attemptReq[id]
 	delete(c.attemptReq, id)
 	c.router.release(dev)
+	c.router.SetPressure(dev, rep.kvUtil)
 	if r.settled {
 		return
 	}
@@ -480,18 +559,22 @@ func (c *LLMCluster) dispatchDecode(r *LLMRequest, dev int, rep llmReport, delay
 	c.attempts++
 	c.attemptReq[id] = r
 	srv := c.servers[dev]
-	class, prompt, output := r.Class, r.PromptTokens, r.OutputTokens
+	class, prompt := r.Class, r.PromptTokens
+	output := r.OutputTokens - r.Truncated
 	have := rep.tokensOut
 	arriveAt, firstAt, lastAt := r.ArriveAt, r.FirstTokenAt, r.LastTokenAt
 	c.shards.Send(0, dev+1, delay, func() {
 		inner, err := srv.Ingest(class, prompt, output, have, arriveAt, firstAt, lastAt)
 		if err != nil {
-			c.shards.Send(dev+1, 0, c.net, func() { c.decodeDone(id, dev, llmReport{tokensOut: have, err: err}) })
+			drep := llmReport{tokensOut: have, err: err, kvUtil: srv.KVUtilization()}
+			c.shards.Send(dev+1, 0, c.net, func() { c.decodeDone(id, dev, drep) })
 			return
 		}
 		inner.Done().Subscribe(func() {
 			drep := llmReport{
 				tokensOut:    inner.TokensOut,
+				truncated:    inner.Truncated,
+				kvUtil:       srv.KVUtilization(),
 				firstTokenAt: inner.FirstTokenAt,
 				lastTokenAt:  inner.LastTokenAt,
 				err:          inner.Err,
@@ -506,6 +589,7 @@ func (c *LLMCluster) decodeDone(id, dev int, rep llmReport) {
 	r := c.attemptReq[id]
 	delete(c.attemptReq, id)
 	c.router.release(dev)
+	c.router.SetPressure(dev, rep.kvUtil)
 	if r.settled {
 		return
 	}
@@ -518,8 +602,9 @@ func (c *LLMCluster) decodeDone(id, dev int, rep llmReport) {
 }
 
 // absorb merges an attempt's token progress into the front-end record.
-// TokensOut only grows (conservation: recomputes re-emit nothing), and the
-// first-token stamp is set exactly once.
+// TokensOut only grows (conservation: recomputes re-emit nothing), the
+// first-token stamp is set exactly once, and attempt-local truncation
+// accumulates (each attempt starts from the already-reduced budget).
 func (c *LLMCluster) absorb(r *LLMRequest, rep llmReport) {
 	if rep.tokensOut > r.TokensOut {
 		r.TokensOut = rep.tokensOut
@@ -530,11 +615,23 @@ func (c *LLMCluster) absorb(r *LLMRequest, rep llmReport) {
 	if rep.lastTokenAt > r.LastTokenAt {
 		r.LastTokenAt = rep.lastTokenAt
 	}
+	r.Truncated += rep.truncated
 }
 
-// attemptFailed decides between failover and settlement for a failed
-// attempt. Only drains (crashes) fail over — capacity errors (shed,
-// KV exhaustion) would fail identically elsewhere.
+// retryable reports whether an attempt error is a capacity rejection worth
+// retrying elsewhere: an admission shed, a queue overflow, or KV exhaustion
+// on one replica says nothing about its peers (especially under least-KV
+// routing). TTFT expiry is not retryable — the deadline is already blown.
+func (c *LLMCluster) retryable(err error) bool {
+	return errors.Is(err, serving.ErrShed) ||
+		errors.Is(err, serving.ErrQueueFull) ||
+		errors.Is(err, serving.ErrKVExhausted)
+}
+
+// attemptFailed decides between failover, retry, and settlement for a
+// failed attempt. Drains (crashes) fail over; capacity rejections retry
+// through the same partial-carry dispatch path after a jittered backoff,
+// gated by the front-end retry budget so rejection storms cannot amplify.
 func (c *LLMCluster) attemptFailed(r *LLMRequest, rep llmReport) {
 	if errors.Is(rep.err, serving.ErrDrained) && r.Hops < c.cfg.MaxFailovers {
 		if next, rerr := c.router.Route(prefillModel(c.cfg.Model), true); rerr == nil {
@@ -543,6 +640,32 @@ func (c *LLMCluster) attemptFailed(r *LLMRequest, rep llmReport) {
 			c.failoversC.Inc()
 			c.rec.Instant(obs.LayerCluster, "llm_failover", r.ID, int(r.Class), obs.NoDevice, int64(next))
 			c.dispatchPrefill(r, next)
+			return
+		}
+	}
+	if c.retryable(rep.err) && r.Retries < c.cfg.MaxRetries {
+		if !c.retryBudget.Allow() {
+			c.retryDenied++
+			c.retryDeniedC.Inc()
+		} else {
+			attempt := r.Retries
+			r.Retries++
+			c.retries++
+			c.retriesC.Inc()
+			delay := overload.Backoff(c.cfg.RetryBackoff, attempt, c.cfg.RetryJitter, c.retryRng.Float64())
+			c.rec.Instant(obs.LayerCluster, "llm_retry", r.ID, int(r.Class), obs.NoDevice, int64(delay))
+			origErr := rep.err
+			c.shards.Env(0).Schedule(delay, func() {
+				if r.settled {
+					return
+				}
+				next, rerr := c.router.Route(prefillModel(c.cfg.Model), true)
+				if rerr != nil {
+					c.settle(r, origErr)
+					return
+				}
+				c.dispatchPrefill(r, next)
+			})
 			return
 		}
 	}
@@ -555,19 +678,34 @@ func (c *LLMCluster) settle(r *LLMRequest, err error) {
 	r.Err = err
 	r.FinishAt = c.shards.Env(0).Now()
 	c.tokensDelivered += r.TokensOut
+	c.truncatedTokens += r.Truncated
+	pc := &c.perClass[r.Class]
+	pc.TruncatedTokens += r.Truncated
 	switch {
 	case err == nil:
 		c.completed++
+		pc.Completed++
+		c.retryBudget.OnSuccess()
 		if ttft := r.TTFT(); ttft > 0 {
 			c.ttfts = append(c.ttfts, ttft.Seconds())
+			c.classTTFTs[r.Class] = append(c.classTTFTs[r.Class], ttft.Seconds())
 		}
 		if tpot := r.TPOT(); tpot > 0 {
 			c.tpots = append(c.tpots, tpot.Seconds())
+			c.classTPOTs[r.Class] = append(c.classTPOTs[r.Class], tpot.Seconds())
 		}
-	case errors.Is(err, serving.ErrQueueFull):
+	case errors.Is(err, serving.ErrExpired):
+		c.expired++
+		pc.Expired++
+		pc.LostTokens += r.OutputTokens - r.Truncated - r.TokensOut
+	case errors.Is(err, serving.ErrQueueFull), errors.Is(err, serving.ErrShed):
 		c.shed++
+		pc.Shed++
+		pc.LostTokens += r.OutputTokens - r.Truncated - r.TokensOut
 	default:
 		c.failed++
+		pc.Failed++
+		pc.LostTokens += r.OutputTokens - r.Truncated - r.TokensOut
 		if r.TokensOut > 0 {
 			c.partial++
 			c.partialTokens += r.TokensOut
@@ -614,6 +752,24 @@ func (c *LLMCluster) FinishObs(label string) {
 	c.cfg.Obs.Merge(label, c.children)
 }
 
+// LLMClassStats is one priority class's fleet-level accounting. LostTokens
+// is output budget never delivered on shed/expired/failed settlements;
+// TruncatedTokens budget cut by degraded mode. Under overload-control the
+// two should concentrate in the batch class while interactive TTFT holds.
+type LLMClassStats struct {
+	Submitted int
+	Completed int
+	Failed    int
+	Shed      int
+	Expired   int
+	// LostTokens + TruncatedTokens is the class's absorbed degradation.
+	LostTokens      int
+	TruncatedTokens int
+	// TTFT and TPOT summarize the class's completions, seconds.
+	TTFT metrics.Percentiles
+	TPOT metrics.Percentiles
+}
+
 // LLMClusterStats summarizes a disaggregated fleet's run. Rates use the
 // shard horizon as the elapsed-time denominator so both engines report
 // identical values; everything is DeepEqual-comparable for differential
@@ -622,11 +778,14 @@ type LLMClusterStats struct {
 	Devices         int
 	PrefillReplicas int
 	DecodeReplicas  int
-	// Conservation: Requests == Completed + Failed + Shed after quiescence.
+	// Conservation: Requests == Completed + Failed + Shed + Expired after
+	// quiescence.
 	Requests  int
 	Completed int
 	Failed    int
 	Shed      int
+	// Expired counts requests shed un-run past their TTFT deadline.
+	Expired int
 	// Partial counts failed requests that had delivered tokens;
 	// PartialTokens those tokens.
 	Partial       int
@@ -634,6 +793,14 @@ type LLMClusterStats struct {
 	Failovers     int
 	Crashes       int
 	Revives       int
+	// Retries counts capacity-rejection re-dispatches; RetryDenied the
+	// retries the front-end budget refused.
+	Retries     int
+	RetryDenied int
+	// TruncatedTokens sums output-budget tokens degraded mode cut over
+	// settled requests; conservation demands it equal the per-device
+	// TruncatedTokens sum.
+	TruncatedTokens int
 	// TokensDelivered sums final TokensOut over settled requests; token
 	// conservation demands it equal the per-device TokensEmitted sum.
 	TokensDelivered int
@@ -644,6 +811,9 @@ type LLMClusterStats struct {
 	TransferBytes int64
 	// Tokens holds fleet-level TTFT/TPOT percentiles over completions.
 	Tokens metrics.TokenPercentiles
+	// PerClass breaks conservation, degradation absorption, and token
+	// latencies down by priority class.
+	PerClass [overload.NumClasses]LLMClassStats
 	// Goodput is completions/s; TokensPerSec delivered tokens/s.
 	Goodput      float64
 	TokensPerSec float64
@@ -662,15 +832,24 @@ func (c *LLMCluster) Stats() LLMClusterStats {
 		Completed:       c.completed,
 		Failed:          c.failed,
 		Shed:            c.shed,
+		Expired:         c.expired,
 		Partial:         c.partial,
 		PartialTokens:   c.partialTokens,
 		Failovers:       c.failovers,
 		Crashes:         c.crashes,
 		Revives:         c.revives,
+		Retries:         c.retries,
+		RetryDenied:     c.retryDenied,
+		TruncatedTokens: c.truncatedTokens,
 		TokensDelivered: c.tokensDelivered,
 		Tokens:          metrics.TokenPercentilesOf(c.ttfts, c.tpots),
+		PerClass:        c.perClass,
 		Decisions:       c.router.Count(),
 		DecisionHash:    c.router.DecisionHash(),
+	}
+	for cls := range st.PerClass {
+		st.PerClass[cls].TTFT = metrics.PercentilesOf(c.classTTFTs[cls])
+		st.PerClass[cls].TPOT = metrics.PercentilesOf(c.classTPOTs[cls])
 	}
 	for _, srv := range c.servers {
 		ds := srv.Stats()

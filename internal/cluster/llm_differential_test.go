@@ -10,16 +10,19 @@ import (
 	"olympian/internal/gpu"
 	"olympian/internal/model"
 	"olympian/internal/obs"
+	"olympian/internal/overload"
 )
 
 // llmScenario is one LLM differential workload: a fleet config builder plus
-// a deterministic arrival pattern with per-request sequence dimensions.
+// a deterministic arrival pattern with per-request sequence dimensions and an
+// optional per-request class (nil = all Batch).
 type llmScenario struct {
-	name string
-	cfg  func() LLMConfig
-	n    int
-	gap  time.Duration
-	dims func(i int) (prompt, output int)
+	name  string
+	cfg   func() LLMConfig
+	n     int
+	gap   time.Duration
+	dims  func(i int) (prompt, output int)
+	class func(i int) overload.Class
 }
 
 // llmScenarios mirror the llm experiment shapes: a clean disaggregated
@@ -89,6 +92,41 @@ func llmScenarios() []llmScenario {
 				return 40 + (i%3)*24, 50 + (i%4)*25
 			},
 		},
+		{
+			name: "overload-control",
+			cfg: func() LLMConfig {
+				weights, _ := model.LLMWeightsBytes(model.LLMTiny)
+				spec := gpu.GTX1080Ti
+				spec.Name = "starved"
+				spec.MemoryBytes = weights + (640 << 10)
+				return LLMConfig{
+					Seed:            53,
+					Model:           model.LLMTiny,
+					PrefillReplicas: 2,
+					DecodeReplicas:  2,
+					DecodeSpec:      spec,
+					MaxQueue:        2,
+					Route:           LeastKVPressure,
+					TTFTDeadline:    time.Millisecond,
+					TPOTBudget:      2 * time.Millisecond,
+					Admission:       &overload.TokenAIMDConfig{Initial: 384, Min: 128, Max: 2048},
+					KVWatermark:     0.7,
+					DegradedTail:    4,
+					MaxRetries:      2,
+				}
+			},
+			n:   48,
+			gap: 25 * time.Microsecond,
+			dims: func(i int) (int, int) {
+				return 24 + (i%5)*32, 30 + (i%6)*25
+			},
+			class: func(i int) overload.Class {
+				if i%3 == 0 {
+					return overload.Interactive
+				}
+				return overload.Batch
+			},
+		},
 	}
 }
 
@@ -105,8 +143,12 @@ func runLLM(t *testing.T, sc llmScenario, engine Engine, workers int, rec *obs.R
 	env := c.FrontEnv()
 	for i := 0; i < sc.n; i++ {
 		prompt, output := sc.dims(i)
+		class := overload.Batch
+		if sc.class != nil {
+			class = sc.class(i)
+		}
 		env.Schedule(time.Duration(i)*sc.gap, func() {
-			c.SubmitEvent(0, prompt, output)
+			c.SubmitEvent(class, prompt, output)
 		})
 	}
 	if err := c.Run(); err != nil {
@@ -180,5 +222,31 @@ func TestLLMPressureScenarioPreempts(t *testing.T) {
 	st := runLLM(t, llmScenarios()[2], SingleHeap, 0, nil)
 	if st.Preemptions == 0 {
 		t.Fatalf("pressure scenario never preempted: %+v", st)
+	}
+}
+
+// TestLLMOverloadScenarioDegrades guards the overload-control scenario: it
+// must actually engage the admission gate or TTFT expiry, truncate batch
+// budgets in degraded mode, and retry capacity rejections — otherwise the
+// bit-identity run over it proves nothing.
+func TestLLMOverloadScenarioDegrades(t *testing.T) {
+	st := runLLM(t, llmScenarios()[3], SingleHeap, 0, nil)
+	if st.Shed+st.Expired == 0 {
+		t.Fatalf("overload scenario shed and expired nothing: %+v", st)
+	}
+	if st.TruncatedTokens == 0 {
+		t.Fatalf("degraded mode never truncated: %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("no capacity rejection retried: %+v", st)
+	}
+	if st.Completed == 0 {
+		t.Fatalf("nothing survived overload control: %+v", st)
+	}
+	// Degradation concentrates in the batch class.
+	batch, inter := st.PerClass[overload.Batch], st.PerClass[overload.Interactive]
+	if batch.TruncatedTokens != st.TruncatedTokens || inter.TruncatedTokens != 0 {
+		t.Fatalf("truncation leaked into the interactive class: batch %d, interactive %d, total %d",
+			batch.TruncatedTokens, inter.TruncatedTokens, st.TruncatedTokens)
 	}
 }

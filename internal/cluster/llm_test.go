@@ -15,12 +15,20 @@ import (
 // this package).
 func checkLLMClusterConservation(t *testing.T, c *LLMCluster, st LLMClusterStats) {
 	t.Helper()
-	if st.Completed+st.Failed+st.Shed != st.Requests {
+	if st.Completed+st.Failed+st.Shed+st.Expired != st.Requests {
 		t.Fatalf("request conservation broken: %+v", st)
 	}
 	if st.TokensEmitted != st.TokensDelivered {
 		t.Fatalf("token conservation broken: devices emitted %d, requests delivered %d",
 			st.TokensEmitted, st.TokensDelivered)
+	}
+	devTrunc := 0
+	for _, ds := range st.PerDevice {
+		devTrunc += ds.TruncatedTokens
+	}
+	if devTrunc != st.TruncatedTokens {
+		t.Fatalf("truncation conservation broken: devices cut %d, requests carry %d",
+			devTrunc, st.TruncatedTokens)
 	}
 	for i, ds := range st.PerDevice {
 		if ds.TokensEmitted != ds.EmittedByRequests {
@@ -244,4 +252,140 @@ func TestLLMClusterShedsOnBoundedQueues(t *testing.T) {
 	}
 	checkLLMClusterConservation(t, c, st)
 	var _ serving.LLMStats = st.PerDevice[0]
+}
+
+func TestLLMClusterRetriesRecoverQueueFullSheds(t *testing.T) {
+	// A burst overwhelming one bounded prefill queue sheds without retries;
+	// with retries armed the rejected requests re-dispatch after backoff and
+	// drain through the same partial-carry path failover uses.
+	run := func(maxRetries int) LLMClusterStats {
+		cfg := LLMConfig{
+			Seed:            7,
+			Model:           model.LLMTiny,
+			PrefillReplicas: 1,
+			DecodeReplicas:  1,
+			MaxQueue:        2,
+			MaxRetries:      maxRetries,
+			RetryBackoff:    2 * time.Millisecond,
+		}
+		c, err := NewLLM(cfg, SingleHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := c.FrontEnv()
+		env.Schedule(0, func() {
+			for i := 0; i < 10; i++ {
+				c.SubmitEvent(0, 128, 32)
+			}
+		})
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		c.Shutdown()
+		st := c.Stats()
+		checkLLMClusterConservation(t, c, st)
+		return st
+	}
+	base := run(0)
+	if base.Shed == 0 {
+		t.Fatalf("baseline burst shed nothing: %+v", base)
+	}
+	if base.Retries != 0 {
+		t.Fatalf("retries fired with MaxRetries=0: %+v", base)
+	}
+	retried := run(4)
+	if retried.Retries == 0 {
+		t.Fatalf("no retries fired: %+v", retried)
+	}
+	if retried.Completed <= base.Completed || retried.Shed >= base.Shed {
+		t.Fatalf("retries did not recover sheds: base %d completed / %d shed, retried %d / %d",
+			base.Completed, base.Shed, retried.Completed, retried.Shed)
+	}
+}
+
+func TestLLMClusterRetryCarriesPartialTokens(t *testing.T) {
+	// A lone long sequence exhausts a starved decode cache mid-stream; the
+	// retry recomputes its KV elsewhere but must never re-emit the tokens the
+	// first attempt already delivered.
+	weights, err := model.LLMWeightsBytes(model.LLMTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := gpu.GTX1080Ti
+	spec.Name = "starved-decode"
+	spec.MemoryBytes = weights + (640 << 10)
+	cfg := LLMConfig{
+		Seed:            11,
+		Model:           model.LLMTiny,
+		PrefillReplicas: 1,
+		DecodeReplicas:  1,
+		DecodeSpec:      spec,
+		MaxRetries:      2,
+	}
+	c, err := NewLLM(cfg, SingleHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.FrontEnv()
+	env.Schedule(0, func() {
+		c.SubmitEvent(0, 48, 400)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	st := c.Stats()
+	checkLLMClusterConservation(t, c, st)
+	if st.Retries == 0 {
+		t.Fatalf("kv exhaustion never retried: %+v", st)
+	}
+	r := c.Requests()[0]
+	if !r.Failed() || r.Retries == 0 {
+		t.Fatalf("request did not fail through retries: %+v", r)
+	}
+	if r.TokensOut == 0 {
+		t.Fatal("partial tokens lost across retries")
+	}
+	// Conservation already asserts the partial tokens were emitted exactly
+	// once fleet-wide; the stats must also surface them as partial work.
+	if st.Partial != 1 || st.PartialTokens != r.TokensOut {
+		t.Fatalf("partial accounting %d/%d, want 1/%d", st.Partial, st.PartialTokens, r.TokensOut)
+	}
+}
+
+func TestLLMClusterRetryBudgetDeniesStorms(t *testing.T) {
+	// With a near-empty retry budget, a shed storm must surface failures
+	// instead of amplifying: denied retries settle immediately.
+	cfg := LLMConfig{
+		Seed:            15,
+		Model:           model.LLMTiny,
+		PrefillReplicas: 1,
+		DecodeReplicas:  1,
+		MaxQueue:        1,
+		MaxRetries:      3,
+		RetryBudgetMax:  2,
+		RetryRefund:     0.01,
+	}
+	c, err := NewLLM(cfg, SingleHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.FrontEnv()
+	env.Schedule(0, func() {
+		for i := 0; i < 16; i++ {
+			c.SubmitEvent(0, 256, 64)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	st := c.Stats()
+	checkLLMClusterConservation(t, c, st)
+	if st.RetryDenied == 0 {
+		t.Fatalf("drained budget denied nothing: %+v", st)
+	}
+	if st.Retries > 2+st.Completed {
+		t.Fatalf("retries %d exceed the budget plus refunds: %+v", st.Retries, st)
+	}
 }

@@ -25,6 +25,12 @@ const (
 	// debt: each dispatch charges the device T_j = Q·C_j/D_j, so devices
 	// serving expensive models receive proportionally fewer requests.
 	CostWeighted
+	// LeastKVPressure picks the replica with the lowest reported KV-cache
+	// utilization (ties broken by least outstanding, then lowest device
+	// id), steering new prompts away from saturated replicas. Pressure is
+	// fed by SetPressure from completion reports, so it is message-driven
+	// state — identical on both cluster engines.
+	LeastKVPressure
 )
 
 // String names the routing policy.
@@ -36,6 +42,8 @@ func (p RoutePolicy) String() string {
 		return "least-outstanding"
 	case CostWeighted:
 		return "cost-weighted"
+	case LeastKVPressure:
+		return "least-kv-pressure"
 	default:
 		return fmt.Sprintf("RoutePolicy(%d)", int(p))
 	}
@@ -72,6 +80,7 @@ type Router struct {
 	rrNext      map[string]int
 	outstanding []int
 	debt        []float64 // accumulated T_j, in seconds, per device
+	pressure    []float64 // last reported KV utilization per device
 	debtUnit    func(modelName string) (time.Duration, error)
 	downUntil   []sim.Time
 	// dead marks permanently failed devices. Unlike downUntil — a transient
@@ -104,6 +113,7 @@ func newRouter(env *sim.Env, n int, policy RoutePolicy, debtUnit func(string) (t
 		rrNext:      make(map[string]int),
 		outstanding: make([]int, n),
 		debt:        make([]float64, n),
+		pressure:    make([]float64, n),
 		debtUnit:    debtUnit,
 		downUntil:   make([]sim.Time, n),
 		dead:        make([]bool, n),
@@ -239,6 +249,14 @@ func (rt *Router) route(modelName string, failover, hedge bool, exclude []int) (
 			}
 		}
 		rt.debt[pick] += unit.Seconds()
+	case LeastKVPressure:
+		pick = cands[0]
+		for _, d := range cands[1:] {
+			if rt.pressure[d] < rt.pressure[pick] ||
+				(rt.pressure[d] == rt.pressure[pick] && rt.outstanding[d] < rt.outstanding[pick]) {
+				pick = d
+			}
+		}
 	default: // LeastOutstanding
 		pick = cands[0]
 		for _, d := range cands[1:] {
@@ -264,6 +282,15 @@ func (rt *Router) route(modelName string, failover, hedge bool, exclude []int) (
 func writeDecision(w io.Writer, d Decision) {
 	fmt.Fprintf(w, "%d:%s:%d:%t:%t;", d.Seq, d.Model, d.Device, d.Failover, d.Hedge)
 }
+
+// SetPressure records a device's latest KV-cache utilization for the
+// LeastKVPressure policy. Feed it from completion reports (message-driven),
+// never by peeking at device-shard state, so both engines see identical
+// pressure sequences.
+func (rt *Router) SetPressure(device int, p float64) { rt.pressure[device] = p }
+
+// Pressure returns a device's last reported KV utilization.
+func (rt *Router) Pressure(device int) float64 { return rt.pressure[device] }
 
 // release retires one outstanding request from a device.
 func (rt *Router) release(device int) {

@@ -283,3 +283,56 @@ func TestRouteDeadBeatsDownDegradation(t *testing.T) {
 		t.Fatal("route with every replica dead did not error")
 	}
 }
+
+func TestRouteLeastKVPressure(t *testing.T) {
+	env := sim.NewEnv(1)
+	rt := testRouter(env, 3, LeastKVPressure)
+	rt.SetPressure(0, 0.9)
+	rt.SetPressure(1, 0.2)
+	rt.SetPressure(2, 0.7)
+	dev, err := rt.Route(model.Inception, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != 1 {
+		t.Fatalf("routed to device %d, want least-pressure device 1", dev)
+	}
+	// Pressure dominates outstanding: device 1 stays preferred while its
+	// utilization is lowest, however much it already holds.
+	for i := 0; i < 3; i++ {
+		if dev, _ := rt.Route(model.Inception, false); dev != 1 {
+			t.Fatalf("routed to device %d, want 1 while it reports least pressure", dev)
+		}
+	}
+	// A fresh report flips the ordering.
+	rt.SetPressure(1, 0.95)
+	if dev, _ := rt.Route(model.Inception, false); dev != 2 {
+		t.Fatalf("routed to device %d after pressure update, want 2", dev)
+	}
+	if rt.Pressure(1) != 0.95 {
+		t.Fatalf("pressure readback %v, want 0.95", rt.Pressure(1))
+	}
+}
+
+func TestRouteLeastKVPressureTiesBreakDeterministically(t *testing.T) {
+	env := sim.NewEnv(1)
+	rt := testRouter(env, 3, LeastKVPressure)
+	// Equal pressure everywhere: ties fall to least outstanding, then lowest
+	// device id — the deterministic candidate order.
+	if dev, _ := rt.Route(model.Inception, false); dev != 0 {
+		t.Fatalf("first route to device %d, want 0", dev)
+	}
+	// Device 0 now holds one outstanding request; the tie moves on.
+	if dev, _ := rt.Route(model.Inception, false); dev != 1 {
+		t.Fatalf("second route to device %d, want 1", dev)
+	}
+	if dev, _ := rt.Route(model.Inception, false); dev != 2 {
+		t.Fatalf("third route to device %d, want 2", dev)
+	}
+	rt.release(1)
+	rt.release(2)
+	rt.release(0)
+	if dev, _ := rt.Route(model.Inception, false); dev != 0 {
+		t.Fatalf("post-release route to device %d, want 0", dev)
+	}
+}

@@ -45,6 +45,7 @@ func Registry() []Entry {
 		{"sharded", "Parallel simulation core: sharded engines, identity and scale", Sharded},
 		{"recovery", "Crash recovery: goodput retention, MTTR, availability", Recovery},
 		{"llm", "LLM serving: TTFT/TPOT under load, KV pressure, disaggregation", LLM},
+		{"llmoverload", "LLM overload control: token admission, SLO shedding, graceful degradation", LLMOverload},
 	}
 }
 

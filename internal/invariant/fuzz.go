@@ -42,6 +42,16 @@ type Schedule struct {
 	// (serving.Config.TestStrandDrainNth); the fuzzer's negative tests use it
 	// to prove the checker catches a real leak. Zero in honest runs.
 	StrandNth int `json:"strand_nth,omitempty"`
+	// LLM switches the schedule to the autoregressive serving plane: a
+	// prefill/decode-disaggregated fleet with overload control armed
+	// (token-rate admission, TTFT deadlines, degraded-mode truncation,
+	// capacity retries) so the fuzzer sweeps shed/truncate interleavings the
+	// CNN plane cannot produce.
+	LLM bool `json:"llm,omitempty"`
+	// KVSlackKB sizes each decode replica's KV budget in KiB beyond the
+	// resident weights (0 = ample reference memory); small values provoke
+	// preemption, truncation, and KV-exhaustion retries.
+	KVSlackKB int64 `json:"kv_slack_kb,omitempty"`
 }
 
 // Fuzzer bounds: the decoded schedule must finish in milliseconds of wall
@@ -70,6 +80,12 @@ func DecodeSchedule(data []byte) Schedule {
 		Devices:  1 + int(next())%maxDevices,
 		Arrivals: 4 + int(next())%(maxArrivals-3),
 		GapUS:    200 + next()%1100,
+	}
+	// One byte in four selects the LLM plane; the zero byte (and therefore
+	// every short input) stays on the CNN plane.
+	if next()%4 == 3 {
+		s.LLM = true
+		s.KVSlackKB = 256 + (next()%8)*128
 	}
 	for d := 0; d < s.Devices; d++ {
 		var p DevicePlan
@@ -113,6 +129,14 @@ func (s Schedule) Clamp() Schedule {
 		s.GapUS = 50
 	} else if s.GapUS > 2000 {
 		s.GapUS = 2000
+	}
+	if s.LLM && s.Devices < 2 {
+		s.Devices = 2 // disaggregation needs ≥1 prefill and ≥1 decode replica
+	}
+	if s.KVSlackKB < 0 {
+		s.KVSlackKB = 0
+	} else if s.KVSlackKB > 4096 {
+		s.KVSlackKB = 4096
 	}
 	if len(s.Plans) > s.Devices {
 		s.Plans = s.Plans[:s.Devices]
@@ -240,11 +264,124 @@ func (s Schedule) Run(engine cluster.Engine, workers int) (cluster.Stats, []Viol
 	return st, vs, nil
 }
 
+// llmConfig translates an LLM-mode schedule into a disaggregated-fleet
+// config with the whole overload-control plane armed: tight KV slack and
+// aggressive SLOs make shed, expiry, truncation, preemption, and retry paths
+// all reachable from small fuzz inputs. Only the crash and stall planes
+// forward from the device plans — partitions are a CNN-router concept.
+func (s Schedule) llmConfig() cluster.LLMConfig {
+	weights, _ := model.LLMWeightsBytes(model.LLMTiny)
+	spec := gpu.GTX1080Ti
+	if s.KVSlackKB > 0 {
+		spec.Name = "fuzz-starved"
+		spec.MemoryBytes = weights + s.KVSlackKB<<10
+	}
+	plans := make([]*faults.Plan, s.Devices)
+	for i := 0; i < s.Devices && i < len(s.Plans); i++ {
+		p := s.Plans[i]
+		fp := &faults.Plan{}
+		for _, at := range p.CrashAtUS {
+			fp.Crashes = append(fp.Crashes, faults.CrashEvent{
+				At:       time.Duration(at) * time.Microsecond,
+				Recovery: time.Duration(p.RecoveryUS) * time.Microsecond,
+			})
+		}
+		if p.StallEveryUS > 0 && p.StallDurUS > 0 {
+			fp.StallEvery = time.Duration(p.StallEveryUS) * time.Microsecond
+			fp.StallDur = time.Duration(p.StallDurUS) * time.Microsecond
+		}
+		if fp.Enabled() {
+			plans[i] = fp
+		}
+	}
+	return cluster.LLMConfig{
+		Seed:            s.Seed,
+		Model:           model.LLMTiny,
+		PrefillReplicas: 1,
+		DecodeReplicas:  s.Devices - 1,
+		DecodeSpec:      spec,
+		MaxQueue:        3,
+		Route:           cluster.LeastKVPressure,
+		TTFTDeadline:    2 * time.Millisecond,
+		TPOTBudget:      time.Millisecond,
+		Admission:       &overload.TokenAIMDConfig{Initial: 512, Min: 128, Max: 4096},
+		KVWatermark:     0.7,
+		DegradedTail:    4,
+		MaxRetries:      2,
+		Faults:          plans,
+	}
+}
+
+// runLLM executes an LLM-mode schedule on one engine and audits the quiesced
+// fleet, mirroring Run on the CNN plane.
+func (s Schedule) runLLM(engine cluster.Engine, workers int) (cluster.LLMClusterStats, []Violation, error) {
+	cfg := s.llmConfig()
+	cfg.Workers = workers
+	c, err := cluster.NewLLM(cfg, engine)
+	if err != nil {
+		return cluster.LLMClusterStats{}, nil, err
+	}
+	env := c.FrontEnv()
+	rejected := 0
+	for i := 0; i < s.Arrivals; i++ {
+		i := i
+		class := overload.Batch
+		if i%3 == 2 {
+			class = overload.Interactive
+		}
+		prompt := 16 + (i%5)*24
+		output := 20 + (i%6)*25
+		env.Schedule(time.Duration(int64(i)*s.GapUS)*time.Microsecond, func() {
+			if _, err := c.SubmitEvent(class, prompt, output); err != nil {
+				rejected++
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		return cluster.LLMClusterStats{}, nil, err
+	}
+	c.Shutdown()
+	st := c.Stats()
+	vs := CheckLLM(c, st)
+	if st.Requests+rejected != s.Arrivals {
+		vs = append(vs, violatef("arrival-conservation",
+			"%d arrivals but %d routed + %d rejected", s.Arrivals, st.Requests, rejected))
+	}
+	return st, vs, nil
+}
+
+// checkLLM is Check for LLM-mode schedules: audit both engines and require
+// bit-identical stats and decision hashes.
+func (s Schedule) checkLLM() ([]Violation, error) {
+	ref, vs, err := s.runLLM(cluster.SingleHeap, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, workers := range []int{1, 2} {
+		got, gvs, err := s.runLLM(cluster.Sharded, workers)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, gvs...)
+		if !reflect.DeepEqual(ref, got) {
+			vs = append(vs, violatef("engine-identity",
+				"workers=%d llm stats diverge from single-heap reference\nref: %+v\ngot: %+v", workers, ref, got))
+		} else if got.DecisionHash != ref.DecisionHash {
+			vs = append(vs, violatef("engine-identity",
+				"workers=%d llm decision hash %x, reference %x", workers, got.DecisionHash, ref.DecisionHash))
+		}
+	}
+	return vs, nil
+}
+
 // Check is the fuzz target's oracle: run the schedule on the single-heap
 // reference engine and on the parallel engine, audit both for conservation,
 // and require bit-identical stats and decision hashes. The returned slice is
 // empty exactly when the schedule holds every invariant.
 func (s Schedule) Check() ([]Violation, error) {
+	if s.LLM {
+		return s.checkLLM()
+	}
 	ref, vs, err := s.Run(cluster.SingleHeap, 0)
 	if err != nil {
 		return nil, err

@@ -29,6 +29,15 @@ func seedSchedules() []Schedule {
 			{CrashAtUS: []int64{2000}}, // fleet shrinks to one device
 			{StallEveryUS: 10000, StallDurUS: 12000},
 		}},
+		// LLM plane, tight KV slack: admission sheds, TTFT expiries, and
+		// degraded-mode truncation under a hot open loop.
+		{Seed: 17, LLM: true, Devices: 2, Arrivals: 16, GapUS: 150, KVSlackKB: 512},
+		// LLM plane with a crash mid-decode: partial-carry retries and
+		// failover interleaved with overload control.
+		{Seed: 19, LLM: true, Devices: 3, Arrivals: 20, GapUS: 200, KVSlackKB: 640, Plans: []DevicePlan{
+			{},
+			{CrashAtUS: []int64{3000}, RecoveryUS: 5000},
+		}},
 	}
 }
 
@@ -54,6 +63,8 @@ func FuzzConservation(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x05, 0x07, 0x01, 0x0a, 0x40, 0x07, 0x05, 0x06, 0x08, 0x09, 0x0c, 0x03, 0x04})
 	f.Add([]byte{0x01, 0x02, 0x02, 0x10, 0x20, 0x01, 0x08, 0x13, 0x19, 0x05, 0x0d, 0x04})
+	// Mode byte 0x03 selects the LLM plane (tight KV slack, crash plan).
+	f.Add([]byte{0x02, 0x09, 0x01, 0x0c, 0x30, 0x03, 0x02, 0x03, 0x05, 0x07, 0x09, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := DecodeSchedule(data)
 		vs, err := s.Check()
@@ -137,11 +148,18 @@ func TestDecodeScheduleBounded(t *testing.T) {
 		{0xff},
 		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
 		{0x00, 0x00, 0x02, 0x00, 0x00, 0x1f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		{0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0xff}, // LLM mode on a one-device fleet
 	}
 	for _, in := range inputs {
 		s := DecodeSchedule(in)
 		if s.Devices < 1 || s.Devices > maxDevices {
 			t.Fatalf("devices %d out of bounds for input %x", s.Devices, in)
+		}
+		if s.LLM && s.Devices < 2 {
+			t.Fatalf("llm schedule with %d devices cannot disaggregate: input %x", s.Devices, in)
+		}
+		if s.KVSlackKB < 0 || s.KVSlackKB > 4096 {
+			t.Fatalf("kv slack %d out of bounds for input %x", s.KVSlackKB, in)
 		}
 		if s.Arrivals < 1 || s.Arrivals > maxArrivals {
 			t.Fatalf("arrivals %d out of bounds for input %x", s.Arrivals, in)

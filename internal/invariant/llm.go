@@ -13,10 +13,18 @@ import (
 // quiescence (a leaked block means some sequence was never released).
 func CheckLLMServing(scope string, st serving.LLMStats) []Violation {
 	var vs []Violation
-	if got := st.Completed + st.HandedOff + st.Failed + st.Shed; got != st.Requests {
+	if got := st.Completed + st.HandedOff + st.Failed + st.Shed + st.Expired; got != st.Requests {
 		vs = append(vs, violatef("llm-serving-conservation",
-			"%s: %d requests but completed %d + handed off %d + failed %d + shed %d = %d",
-			scope, st.Requests, st.Completed, st.HandedOff, st.Failed, st.Shed, got))
+			"%s: %d requests but completed %d + handed off %d + failed %d + shed %d + expired %d = %d",
+			scope, st.Requests, st.Completed, st.HandedOff, st.Failed, st.Shed, st.Expired, got))
+	}
+	if st.TruncatedTokens > 0 && st.Truncated == 0 {
+		vs = append(vs, violatef("llm-truncate-accounting",
+			"%s: %d truncated tokens with no truncated sequences", scope, st.TruncatedTokens))
+	}
+	if st.Truncated > 0 && st.TruncatedTokens < st.Truncated {
+		vs = append(vs, violatef("llm-truncate-accounting",
+			"%s: %d truncated sequences cut only %d tokens", scope, st.Truncated, st.TruncatedTokens))
 	}
 	if st.TokensEmitted != st.EmittedByRequests {
 		vs = append(vs, violatef("llm-token-conservation",
@@ -42,15 +50,32 @@ func CheckLLMServing(scope string, st serving.LLMStats) []Violation {
 // replica conserves its own arrivals and tokens.
 func CheckLLMStats(st cluster.LLMClusterStats) []Violation {
 	var vs []Violation
-	if got := st.Completed + st.Failed + st.Shed; got != st.Requests {
+	if got := st.Completed + st.Failed + st.Shed + st.Expired; got != st.Requests {
 		vs = append(vs, violatef("llm-cluster-conservation",
-			"%d requests but %d completed + %d failed + %d shed = %d settled",
-			st.Requests, st.Completed, st.Failed, st.Shed, got))
+			"%d requests but %d completed + %d failed + %d shed + %d expired = %d settled",
+			st.Requests, st.Completed, st.Failed, st.Shed, st.Expired, got))
 	}
 	if st.TokensEmitted != st.TokensDelivered {
 		vs = append(vs, violatef("llm-cluster-token-conservation",
 			"devices emitted %d tokens but requests were delivered %d",
 			st.TokensEmitted, st.TokensDelivered))
+	}
+	devTrunc := 0
+	for _, ds := range st.PerDevice {
+		devTrunc += ds.TruncatedTokens
+	}
+	if devTrunc != st.TruncatedTokens {
+		vs = append(vs, violatef("llm-truncate-conservation",
+			"devices cut %d budget tokens but settled requests carry %d",
+			devTrunc, st.TruncatedTokens))
+	}
+	classSettled := 0
+	for _, pc := range st.PerClass {
+		classSettled += pc.Completed + pc.Failed + pc.Shed + pc.Expired
+	}
+	if settled := st.Completed + st.Failed + st.Shed + st.Expired; classSettled != settled {
+		vs = append(vs, violatef("llm-class-conservation",
+			"per-class settlements sum to %d, fleet settled %d", classSettled, settled))
 	}
 	if st.Revives > st.Crashes {
 		vs = append(vs, violatef("revive-count", "%d revives exceed %d crashes", st.Revives, st.Crashes))
@@ -90,13 +115,17 @@ func CheckLLM(c *cluster.LLMCluster, st cluster.LLMClusterStats) []Violation {
 				continue
 			}
 			tokens += r.TokensOut
-			if r.TokensOut > r.OutputTokens {
+			// OutputTokens is the original budget; degraded-mode cuts are
+			// tracked in Truncated, so the effective budget is the difference.
+			if r.TokensOut > r.OutputTokens-r.Truncated {
 				vs = append(vs, violatef("llm-over-generation",
-					"request %d delivered %d of %d budgeted tokens", r.ID, r.TokensOut, r.OutputTokens))
+					"request %d delivered %d of %d budgeted tokens (%d truncated)",
+					r.ID, r.TokensOut, r.OutputTokens, r.Truncated))
 			}
-			if r.Err == nil && r.TokensOut != r.OutputTokens {
+			if r.Err == nil && r.TokensOut+r.Truncated != r.OutputTokens {
 				vs = append(vs, violatef("llm-under-generation",
-					"completed request %d delivered %d of %d tokens", r.ID, r.TokensOut, r.OutputTokens))
+					"completed request %d delivered %d + %d truncated of %d tokens",
+					r.ID, r.TokensOut, r.Truncated, r.OutputTokens))
 			}
 		}
 		if tokens != st.TokensDelivered {

@@ -72,6 +72,8 @@ func TestCheckLLMStatsCatchesViolations(t *testing.T) {
 			Partial: 1, PartialTokens: 4,
 		}},
 	}
+	good.PerClass[0].Completed = 2
+	good.PerClass[0].Failed = 1
 	if vs := CheckLLMStats(good); len(vs) != 0 {
 		t.Fatalf("false positives: %v", vs)
 	}
@@ -86,6 +88,12 @@ func TestCheckLLMStatsCatchesViolations(t *testing.T) {
 		{"llm-serving-conservation", func(s *cluster.LLMClusterStats) { s.PerDevice[0].Shed = 1 }},
 		{"llm-token-conservation", func(s *cluster.LLMClusterStats) { s.PerDevice[0].EmittedByRequests = 9 }},
 		{"llm-kv-leak", func(s *cluster.LLMClusterStats) { s.PerDevice[0].KV.BlocksInUse = 2 }},
+		{"llm-truncate-conservation", func(s *cluster.LLMClusterStats) { s.TruncatedTokens = 3 }},
+		{"llm-class-conservation", func(s *cluster.LLMClusterStats) { s.PerClass[0].Completed = 1 }},
+		{"llm-truncate-accounting", func(s *cluster.LLMClusterStats) {
+			s.PerDevice[0].TruncatedTokens = 5
+			s.TruncatedTokens = 5
+		}},
 	}
 	for _, tc := range cases {
 		st := good

@@ -65,15 +65,26 @@ func (b *Batcher) HasWork() bool {
 // Idle reports the opposite of HasWork.
 func (b *Batcher) Idle() bool { return !b.HasWork() }
 
-// NextPrefill pops the queue head when a slot could eventually absorb it —
-// prefilling a sequence the batch has no room for would only pin KV.
+// NextPrefill pops the next prefill candidate when a slot could eventually
+// absorb it — prefilling a sequence the batch has no room for would only pin
+// KV. Selection is class-then-FCFS: the first request of the highest waiting
+// class wins, so under overload interactive prompts do not queue behind a
+// backlog of batch work (within one class the order is strict FCFS, and
+// preempted sequences re-entered at the front keep their place).
 func (b *Batcher) NextPrefill() *Request {
 	if len(b.queue) == 0 || len(b.running)+len(b.ready) >= b.maxSeqs {
 		return nil
 	}
-	r := b.queue[0]
-	b.queue[0] = nil
-	b.queue = b.queue[1:]
+	pick := 0
+	for i, r := range b.queue {
+		if r.Class > b.queue[pick].Class {
+			pick = i
+		}
+	}
+	r := b.queue[pick]
+	copy(b.queue[pick:], b.queue[pick+1:])
+	b.queue[len(b.queue)-1] = nil
+	b.queue = b.queue[:len(b.queue)-1]
 	return r
 }
 
@@ -129,18 +140,21 @@ func (b *Batcher) Leave(r *Request) {
 	}
 }
 
-// Victim picks and removes the preemption victim: the newest running
-// sequence (highest local ID — the latest arrival has the least sunk cost).
-// With one or zero sequences running it returns nil: a sequence that cannot
-// grow even alone must fail, not self-preempt forever.
+// Victim picks and removes the preemption victim, class-aware: the lowest
+// priority class first (batch pays for KV pressure before interactive), and
+// within a class the newest sequence (highest local ID — the latest arrival
+// has the least sunk cost). With one or zero sequences running it returns
+// nil: a sequence that cannot grow even alone must fail, not self-preempt
+// forever.
 func (b *Batcher) Victim() *Request {
 	if len(b.running) < 2 {
 		return nil
 	}
 	vi := 0
-	for i, r := range b.running {
-		if r.ID > b.running[vi].ID {
-			vi = i
+	for i, r := range b.running[1:] {
+		v := b.running[vi]
+		if r.Class < v.Class || (r.Class == v.Class && r.ID > v.ID) {
+			vi = i + 1
 		}
 	}
 	v := b.running[vi]

@@ -75,6 +75,10 @@ type Request struct {
 	TokensOut int
 	// Preemptions counts KV evictions this request suffered here.
 	Preemptions int
+	// Truncated counts output-budget tokens cut by degraded mode: the
+	// request's OutputTokens was lowered by this much after admission, so
+	// token conservation closes as TokensOut + Truncated == original budget.
+	Truncated int
 	// HandedOff marks a prefill-role request whose KV left for a decode
 	// replica: locally terminal and successful, but not a completion.
 	HandedOff bool
@@ -151,6 +155,27 @@ func (r *Request) Abort(err error, now sim.Time) {
 	r.Err = err
 	r.FinishAt = now
 	r.done.Trigger()
+}
+
+// Truncate lowers the request's output budget to at most budget tokens
+// (degraded mode), returning how many budget tokens were cut. The budget
+// never drops below the tokens already delivered — or below one — so a
+// truncated sequence still retires cleanly at the next token boundary, and
+// the cut is recorded in Truncated so conservation closes explicitly.
+func (r *Request) Truncate(budget int) int {
+	if budget < 1 {
+		budget = 1
+	}
+	if budget < r.TokensOut {
+		budget = r.TokensOut
+	}
+	cut := r.OutputTokens - budget
+	if cut <= 0 {
+		return 0
+	}
+	r.OutputTokens = budget
+	r.Truncated += cut
+	return cut
 }
 
 // EmittedHere is how many output tokens this server delivered (excluding

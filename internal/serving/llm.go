@@ -68,6 +68,31 @@ type LLMConfig struct {
 	// MaxStepTime, when positive, stops admitting ready sequences once the
 	// profiler predicts the next decode step would exceed it.
 	MaxStepTime time.Duration
+	// TTFTDeadline, when positive, sheds queued prefills whose first token
+	// was not produced by arrival+deadline: they expire un-run (ErrExpired)
+	// instead of burning prefill compute on an already-blown SLO. Recomputes
+	// and ingests (first token already delivered) are exempt.
+	TTFTDeadline time.Duration
+	// TPOTBudget, when positive, counts completions whose mean inter-token
+	// gap exceeds it as decode SLO misses (per-class DeadlineMisses).
+	TPOTBudget time.Duration
+	// Admission, when non-nil, arms a token-rate AIMD gate on Submit: each
+	// request is charged its predicted token cost (prompt + expected
+	// output) and sheds with ErrShed when the class's fraction of the
+	// adaptive token limit is full. KV pressure and TTFT expiries feed the
+	// limiter's congestion signal; its own sheds never do.
+	Admission *overload.TokenAIMDConfig
+	// ExpectedOutput is the predicted output length used for the admission
+	// cost; 0 charges the request's own output budget (oracle prediction).
+	ExpectedOutput int
+	// KVWatermark in (0,1], when set, arms degraded mode: KV utilization at
+	// or above this fraction of the post-weights memory budget signals
+	// congestion and truncates batch-class output budgets to DegradedTail
+	// further tokens, explicitly accounted in Truncated/TruncatedTokens.
+	KVWatermark float64
+	// DegradedTail is how many further tokens a batch-class sequence may
+	// generate once degraded mode engages (default 8 when KVWatermark set).
+	DegradedTail int
 	// Seed derives the server's private random streams under IsolateRand.
 	Seed int64
 	// Faults optionally injects kernel faults, stalls, and crashes.
@@ -85,18 +110,59 @@ type LLMConfig struct {
 	Profile *profiler.LLMProfile
 }
 
+// Validate rejects explicit nonsense, mirroring Config.Validate on the CNN
+// path: zero values mean "use the default / disable the knob" throughout
+// this package, so a negative bound, a watermark outside [0,1], or an
+// invalid admission config is a caller bug worth failing loudly on.
+// NewLLMServer calls it; callers building configs programmatically can too.
+func (c LLMConfig) Validate() error {
+	if c.MaxSeqs < 0 || c.MaxBatchTokens < 0 || c.MaxQueue < 0 {
+		return fmt.Errorf("serving: negative llm batch/queue bound (maxSeqs=%d maxBatchTokens=%d maxQueue=%d)",
+			c.MaxSeqs, c.MaxBatchTokens, c.MaxQueue)
+	}
+	if c.BlockTokens < 0 {
+		return fmt.Errorf("serving: negative llm kv block size %d", c.BlockTokens)
+	}
+	if c.MaxStepTime < 0 {
+		return fmt.Errorf("serving: negative llm step-time budget %v", c.MaxStepTime)
+	}
+	if c.TTFTDeadline < 0 || c.TPOTBudget < 0 {
+		return fmt.Errorf("serving: negative llm slo budget (ttft=%v tpot=%v)", c.TTFTDeadline, c.TPOTBudget)
+	}
+	if c.ExpectedOutput < 0 {
+		return fmt.Errorf("serving: negative llm expected output %d", c.ExpectedOutput)
+	}
+	if c.KVWatermark < 0 || c.KVWatermark > 1 {
+		return fmt.Errorf("serving: llm kv watermark %v outside [0,1]", c.KVWatermark)
+	}
+	if c.DegradedTail < 0 {
+		return fmt.Errorf("serving: negative llm degraded tail %d", c.DegradedTail)
+	}
+	if c.Admission != nil {
+		if err := c.Admission.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // LLMStats is one replica's accounting snapshot. Every field is comparable,
 // so differential tests DeepEqual it across engines.
 type LLMStats struct {
 	Model string
 	// Requests counts all arrivals (Submit and Ingest, including sheds);
-	// conservation: Requests == Completed + HandedOff + Failed + Shed.
+	// conservation: Requests == Completed + HandedOff + Failed + Shed +
+	// Expired.
 	Requests  int
 	Completed int
 	// HandedOff counts prefill-role sequences shipped to a decode replica.
 	HandedOff int
 	Failed    int
 	Shed      int
+	// Expired counts queued prefills shed un-run past their TTFT deadline;
+	// AdmissionSheds the subset of Shed refused by the token-rate gate.
+	Expired        int
+	AdmissionSheds int
 	// Partial counts failed requests that had delivered new tokens;
 	// PartialTokens the tokens they delivered — work a plain failure count
 	// would hide.
@@ -121,6 +187,20 @@ type LLMStats struct {
 	// mark (weights + cache).
 	KV         gpu.KVStats
 	MemoryPeak int64
+	// Truncated counts sequences whose output budget degraded mode cut;
+	// TruncatedTokens the budget tokens cut (explicitly accounted so token
+	// conservation closes: TokensOut + Truncated == the original budget).
+	Truncated       int
+	TruncatedTokens int
+	// DegradedEvents counts KV-watermark crossings into degraded mode.
+	DegradedEvents int
+	// TPOTMisses counts completions over the TPOT budget; SLOAttained
+	// completions inside every armed budget.
+	TPOTMisses  int
+	SLOAttained int
+	// AdmitLimit is the token-rate gate's final adaptive limit (0 when the
+	// gate is unarmed).
+	AdmitLimit float64
 	// ByClass carries per-class conservation counters.
 	ByClass metrics.ByClass
 }
@@ -142,10 +222,18 @@ type LLMServer struct {
 	reqCount int
 	requests []*llm.Request // retained unless Slim
 
+	limiter   *overload.TokenLimiter
+	admitCost map[int]int // request ID -> charged admission tokens
+	kvBudget  int64       // device memory left for KV after weights
+	degraded  bool
+
 	submitted, completed, handedOff, failed, shed int
+	expired, admissionSheds                       int
 	partial, partialTokens                        int
 	ingested, preemptions, kernelRetries          int
 	tokensEmitted, emittedByRequests              int
+	truncated, truncatedTokens, degradedEvents    int
+	tpotMisses, sloAttained                       int
 	ttfts, tpots, qdelays                         []float64
 	byClass                                       metrics.ByClass
 
@@ -163,6 +251,12 @@ type LLMServer struct {
 	llmReqC   *obs.Series
 	llmDoneC  *obs.Series
 	llmFailC  *obs.Series
+	degradedC *obs.Series
+	admShedC  [overload.NumClasses]*obs.Series
+	expiredC  [overload.NumClasses]*obs.Series
+	truncTokC [overload.NumClasses]*obs.Series
+	sloOkC    [overload.NumClasses]*obs.Series
+	tpotMissC [overload.NumClasses]*obs.Series
 }
 
 // NewLLMServer builds a replica and allocates its weights on the device.
@@ -176,14 +270,17 @@ func NewLLMServer(env *sim.Env, cfg LLMConfig) (*LLMServer, error) {
 	if cfg.Spec.Name == "" {
 		cfg.Spec = gpu.GTX1080Ti
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.MaxSeqs <= 0 {
 		cfg.MaxSeqs = 8
 	}
 	if cfg.BlockTokens <= 0 {
 		cfg.BlockTokens = 16
 	}
-	if cfg.MaxQueue < 0 || cfg.MaxBatchTokens < 0 || cfg.MaxStepTime < 0 {
-		return nil, fmt.Errorf("serving: negative llm config bound")
+	if cfg.KVWatermark > 0 && cfg.DegradedTail <= 0 {
+		cfg.DegradedTail = 8
 	}
 	weights, err := model.LLMWeightsBytes(cfg.Model)
 	if err != nil {
@@ -212,15 +309,20 @@ func NewLLMServer(env *sim.Env, cfg LLMConfig) (*LLMServer, error) {
 		}
 	}
 	s := &LLMServer{
-		env:    env,
-		cfg:    cfg,
-		dev:    dev,
-		kv:     gpu.NewKVCache(dev, cfg.BlockTokens, kvPerTok),
-		prof:   prof,
-		batch:  llm.NewBatcher(cfg.MaxSeqs, cfg.MaxBatchTokens),
-		cond:   env.NewCond(fmt.Sprintf("llm-engine-%d", cfg.Device)),
-		rec:    cfg.Obs,
-		obsDev: cfg.Device,
+		env:      env,
+		cfg:      cfg,
+		dev:      dev,
+		kv:       gpu.NewKVCache(dev, cfg.BlockTokens, kvPerTok),
+		prof:     prof,
+		batch:    llm.NewBatcher(cfg.MaxSeqs, cfg.MaxBatchTokens),
+		cond:     env.NewCond(fmt.Sprintf("llm-engine-%d", cfg.Device)),
+		kvBudget: cfg.Spec.MemoryBytes - weights,
+		rec:      cfg.Obs,
+		obsDev:   cfg.Device,
+	}
+	if cfg.Admission != nil {
+		s.limiter = overload.NewTokenLimiter(*cfg.Admission)
+		s.admitCost = make(map[int]int)
 	}
 	reg := cfg.Obs.Registry()
 	devLabel := strconv.Itoa(cfg.Device)
@@ -235,6 +337,15 @@ func NewLLMServer(env *sim.Env, cfg LLMConfig) (*LLMServer, error) {
 	s.kvFailC = reg.Counter("olympian_llm_kv_exhausted_total", "Sequences failed on cache exhaustion.", "device", devLabel)
 	s.stepsC = reg.Counter("olympian_llm_decode_steps_total", "Fused decode steps executed.", "device", devLabel)
 	s.prefillsC = reg.Counter("olympian_llm_prefills_total", "Prefill passes executed (including recomputes).", "device", devLabel)
+	s.degradedC = reg.Counter("olympian_llm_degraded_events_total", "KV-watermark crossings into degraded mode.", "device", devLabel)
+	for cls := overload.Class(0); cls < overload.NumClasses; cls++ {
+		cl := cls.String()
+		s.admShedC[cls] = reg.Counter("olympian_llm_admission_shed_total", "Requests refused by the token-rate admission gate.", "device", devLabel, "class", cl)
+		s.expiredC[cls] = reg.Counter("olympian_llm_ttft_expired_total", "Queued prefills shed un-run past their TTFT deadline.", "device", devLabel, "class", cl)
+		s.truncTokC[cls] = reg.Counter("olympian_llm_truncated_tokens_total", "Output-budget tokens cut by degraded mode.", "device", devLabel, "class", cl)
+		s.sloOkC[cls] = reg.Counter("olympian_llm_slo_attained_total", "Completions inside every armed TTFT/TPOT budget.", "device", devLabel, "class", cl)
+		s.tpotMissC[cls] = reg.Counter("olympian_llm_tpot_miss_total", "Completions over the TPOT budget.", "device", devLabel, "class", cl)
+	}
 
 	proc := env.Go(fmt.Sprintf("llm-engine-%d", cfg.Device), s.drive)
 	proc.SetDaemon(true)
@@ -282,6 +393,22 @@ func (s *LLMServer) Submit(modelName string, class overload.Class, prompt, outpu
 		s.llmFailC.Inc()
 		return nil, ErrDrained
 	}
+	cost := 0
+	if s.limiter != nil {
+		cost = prompt + output
+		if s.cfg.ExpectedOutput > 0 {
+			cost = prompt + s.cfg.ExpectedOutput
+		}
+		if !s.limiter.HasCapacity(class, cost) {
+			s.limiter.NoteShed()
+			s.shed++
+			s.admissionSheds++
+			s.byClass[class].Shed++
+			s.admShedC[class].Inc()
+			s.rec.Instant(obs.LayerServing, "llm_admit_shed", s.reqCount, int(class), s.obsDev, int64(cost))
+			return nil, ErrShed
+		}
+	}
 	if s.cfg.MaxQueue > 0 && s.batch.QueueLen() >= s.cfg.MaxQueue {
 		s.shed++
 		s.byClass[class].Shed++
@@ -290,6 +417,10 @@ func (s *LLMServer) Submit(modelName string, class overload.Class, prompt, outpu
 	}
 	r := llm.NewRequest(s.env, s.reqCount, modelName, class, prompt, output, have)
 	s.reqCount++
+	if s.limiter != nil {
+		s.limiter.Acquire(cost)
+		s.admitCost[r.ID] = cost
+	}
 	if !s.cfg.Slim {
 		s.requests = append(s.requests, r)
 	}
@@ -377,6 +508,9 @@ func (s *LLMServer) drive(p *sim.Proc) {
 		s.admitIngests()
 		s.promote()
 		if r := s.batch.NextPrefill(); r != nil {
+			if s.expireTTFT(r, p.Now()) {
+				continue
+			}
 			s.runPrefill(p, r)
 			continue
 		}
@@ -437,6 +571,88 @@ func (s *LLMServer) promote() {
 	}
 }
 
+// congest feeds a KV-pressure or SLO-failure signal to the token-rate
+// admission gate; a no-op when the gate is unarmed.
+func (s *LLMServer) congest(now sim.Time) {
+	if s.limiter != nil {
+		s.limiter.OnCongestion(time.Duration(now))
+	}
+}
+
+// releaseAdmission returns an admitted request's charged tokens to the gate
+// and reports the cost (0 when the gate is unarmed or the request was never
+// charged, e.g. a decode-role ingest).
+func (s *LLMServer) releaseAdmission(r *llm.Request) int {
+	if s.limiter == nil {
+		return 0
+	}
+	cost, ok := s.admitCost[r.ID]
+	if !ok {
+		return 0
+	}
+	delete(s.admitCost, r.ID)
+	s.limiter.Release(cost)
+	return cost
+}
+
+// expireTTFT sheds a popped prefill whose TTFT deadline already passed:
+// running it would burn prefill compute on an SLO the request cannot meet.
+// Recomputes and carried failovers (TokensOut > 0) are exempt — their first
+// token was already delivered. Expiry is a server-side SLO failure, so it
+// feeds the congestion signal (unlike the gate's own sheds).
+func (s *LLMServer) expireTTFT(r *llm.Request, now sim.Time) bool {
+	if s.cfg.TTFTDeadline <= 0 || r.TokensOut > 0 || r.Finished() {
+		return false
+	}
+	wait := time.Duration(now - r.ArriveAt)
+	if wait <= s.cfg.TTFTDeadline {
+		return false
+	}
+	s.expired++
+	s.byClass[r.Class].Expired++
+	s.expiredC[r.Class].Inc()
+	s.rec.Instant(obs.LayerServing, "llm_expired", r.ID, int(r.Class), s.obsDev, int64(wait))
+	s.congest(now)
+	s.releaseAdmission(r)
+	r.Abort(ErrExpired, now)
+	return true
+}
+
+// checkDegraded samples KV utilization against the watermark at the token
+// boundary. At or above it the server is in degraded mode: the crossing is
+// a congestion event for the admission gate, and every running batch-class
+// sequence's output budget is truncated to DegradedTail further tokens so
+// the cache drains within a bounded number of steps — interactive sequences
+// keep their full budgets. Cut tokens are explicitly accounted.
+func (s *LLMServer) checkDegraded(now sim.Time) {
+	if s.cfg.KVWatermark <= 0 || s.kvBudget <= 0 {
+		return
+	}
+	util := float64(s.kv.BytesInUse()) / float64(s.kvBudget)
+	if util < s.cfg.KVWatermark {
+		s.degraded = false
+		return
+	}
+	if !s.degraded {
+		s.degraded = true
+		s.degradedEvents++
+		s.degradedC.Inc()
+		s.rec.Instant(obs.LayerServing, "llm_degraded", obs.NoReq, obs.NoClass, s.obsDev, int64(util*1000))
+	}
+	s.congest(now)
+	for _, r := range s.batch.Running() {
+		if r.Class != overload.Batch {
+			continue
+		}
+		if cut := r.Truncate(r.TokensOut + s.cfg.DegradedTail); cut > 0 {
+			s.truncated++
+			s.truncatedTokens += cut
+			s.truncTokC[r.Class].Add(float64(cut))
+			s.rec.Instant(obs.LayerServing, "llm_truncate", r.ID, int(r.Class), s.obsDev, int64(cut))
+		}
+	}
+}
+
 // runPrefill executes one prefill pass (first or recompute) for r.
 func (s *LLMServer) runPrefill(p *sim.Proc, r *llm.Request) {
 	if r.PrefillStartAt == 0 {
@@ -453,6 +669,7 @@ func (s *LLMServer) runPrefill(p *sim.Proc, r *llm.Request) {
 		}
 		s.kvFailC.Inc()
 		s.rec.Instant(obs.LayerServing, "llm_kv_exhausted", r.ID, int(r.Class), s.obsDev, int64(tokens))
+		s.congest(p.Now())
 		s.bookFail(r, ErrKVExhausted, p.Now())
 		return
 	}
@@ -506,6 +723,10 @@ func (s *LLMServer) runPrefill(p *sim.Proc, r *llm.Request) {
 		s.byClass[r.Class].Completed++
 		s.emittedByRequests += r.EmittedHere()
 		s.rec.Instant(obs.LayerServing, "llm_handoff", r.ID, int(r.Class), s.obsDev, int64(r.KVTokens()))
+		cost := s.releaseAdmission(r)
+		if s.limiter != nil && (s.cfg.TTFTDeadline <= 0 || r.TTFT() <= s.cfg.TTFTDeadline) {
+			s.limiter.OnSuccess(cost)
+		}
 		r.Complete(now)
 	default:
 		s.batch.Admit(r)
@@ -531,6 +752,7 @@ growth:
 					s.kv.Release(r.ID)
 					s.kvFailC.Inc()
 					s.rec.Instant(obs.LayerServing, "llm_kv_exhausted", r.ID, int(r.Class), s.obsDev, int64(r.KVTokens()))
+					s.congest(p.Now())
 					s.bookFail(r, ErrKVExhausted, p.Now())
 					continue growth
 				}
@@ -539,6 +761,7 @@ growth:
 				s.preemptions++
 				s.preemptsC.Inc()
 				s.rec.Instant(obs.LayerServing, "llm_preempt", v.ID, int(v.Class), s.obsDev, int64(v.KVTokens()))
+				s.congest(p.Now())
 				s.batch.EnqueueFront(v)
 				delete(grown, v)
 				continue growth
@@ -551,6 +774,9 @@ growth:
 	if len(running) == 0 {
 		return
 	}
+	// Token-boundary degradation check: membership for this step is final
+	// and KV is at its post-growth peak.
+	s.checkDegraded(p.Now())
 	dur, err := model.LLMDecodeStepTime(s.cfg.Model, len(running), s.batch.KVTokens())
 	if err != nil {
 		return
@@ -594,7 +820,9 @@ growth:
 	}
 }
 
-// bookComplete retires a successful request.
+// bookComplete retires a successful request, judging it against the armed
+// SLO budgets: a late first token or an over-budget mean inter-token gap
+// forfeits SLO attainment (and the admission gate's additive increase).
 func (s *LLMServer) bookComplete(r *llm.Request, now sim.Time) {
 	s.completed++
 	s.byClass[r.Class].Completed++
@@ -605,6 +833,21 @@ func (s *LLMServer) bookComplete(r *llm.Request, now sim.Time) {
 	}
 	if tpot := r.TPOT(); tpot > 0 {
 		s.tpots = append(s.tpots, tpot.Seconds())
+	}
+	ok := s.cfg.TTFTDeadline <= 0 || r.TTFT() <= s.cfg.TTFTDeadline
+	if s.cfg.TPOTBudget > 0 && r.TPOT() > s.cfg.TPOTBudget {
+		ok = false
+		s.tpotMisses++
+		s.byClass[r.Class].DeadlineMisses++
+		s.tpotMissC[r.Class].Inc()
+	}
+	cost := s.releaseAdmission(r)
+	if ok {
+		s.sloAttained++
+		s.sloOkC[r.Class].Inc()
+		if s.limiter != nil {
+			s.limiter.OnSuccess(cost)
+		}
 	}
 	r.Complete(now)
 }
@@ -621,11 +864,26 @@ func (s *LLMServer) bookFail(r *llm.Request, err error, now sim.Time) {
 		s.partialTokens += r.EmittedHere()
 		s.partialsC.Inc()
 	}
+	s.releaseAdmission(r)
 	r.Abort(err, now)
+}
+
+// KVUtilization is the cache's current fraction of the post-weights memory
+// budget — the pressure signal least-KV routing steers on. 0 when the
+// device has no headroom to measure against.
+func (s *LLMServer) KVUtilization() float64 {
+	if s.kvBudget <= 0 {
+		return 0
+	}
+	return float64(s.kv.BytesInUse()) / float64(s.kvBudget)
 }
 
 // Stats snapshots the replica's accounting.
 func (s *LLMServer) Stats() LLMStats {
+	limit := 0.0
+	if s.limiter != nil {
+		limit = s.limiter.Limit()
+	}
 	return LLMStats{
 		Model:             s.cfg.Model,
 		Requests:          s.submitted,
@@ -633,6 +891,14 @@ func (s *LLMServer) Stats() LLMStats {
 		HandedOff:         s.handedOff,
 		Failed:            s.failed,
 		Shed:              s.shed,
+		Expired:           s.expired,
+		AdmissionSheds:    s.admissionSheds,
+		Truncated:         s.truncated,
+		TruncatedTokens:   s.truncatedTokens,
+		DegradedEvents:    s.degradedEvents,
+		TPOTMisses:        s.tpotMisses,
+		SLOAttained:       s.sloAttained,
+		AdmitLimit:        limit,
 		Partial:           s.partial,
 		PartialTokens:     s.partialTokens,
 		Ingested:          s.ingested,

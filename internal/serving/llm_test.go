@@ -43,7 +43,7 @@ func newLLMTestServer(t *testing.T, env *sim.Env, cfg LLMConfig) *LLMServer {
 func checkLLMConservation(t *testing.T, srv *LLMServer) {
 	t.Helper()
 	st := srv.Stats()
-	if st.Requests != st.Completed+st.HandedOff+st.Failed+st.Shed {
+	if st.Requests != st.Completed+st.HandedOff+st.Failed+st.Shed+st.Expired {
 		t.Fatalf("request conservation broken: %+v", st)
 	}
 	if st.TokensEmitted != st.EmittedByRequests {
