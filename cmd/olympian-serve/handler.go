@@ -3,13 +3,20 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"olympian"
 	"olympian/internal/model"
 	"olympian/internal/obs"
+	"olympian/internal/overload"
+	"olympian/internal/serving"
+	"olympian/internal/sim"
+	"olympian/internal/telemetry"
 )
 
 // api holds the server's metrics registry; handlers that count domain events
@@ -43,9 +50,13 @@ func newHandler() http.Handler {
 	handle := func(pattern, endpoint string, h http.HandlerFunc) {
 		c := a.metrics.Counter("olympian_http_requests_total",
 			"HTTP requests served, by endpoint.", "endpoint", endpoint)
+		d := a.metrics.Histogram("olympian_http_request_duration_seconds",
+			"Wall-clock HTTP request duration, by endpoint.", "endpoint", endpoint)
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			c.Inc()
+			start := time.Now()
 			h(w, r)
+			d.Observe(time.Since(start))
 		})
 	}
 	handle("GET /models", "models", handleModels)
@@ -55,6 +66,7 @@ func newHandler() http.Handler {
 	handle("POST /experiments/", "experiment_run", a.handleExperimentRun)
 	handle("POST /plan", "plan", handlePlan)
 	handle("POST /trace", "trace", a.handleTrace)
+	handle("GET /timeline", "timeline", a.handleTimeline)
 	handle("GET /metrics", "metrics", a.handleMetrics)
 	return mux
 }
@@ -331,6 +343,117 @@ func handleExperimentList(w http.ResponseWriter, _ *http.Request) {
 		rows = append(rows, row{ID: e.ID, Title: e.Title})
 	}
 	writeJSON(w, http.StatusOK, rows)
+}
+
+// handleTimeline runs a short deterministic overload demo with the
+// virtual-clock telemetry sampler attached and streams the merged timeline
+// (ring-buffer series, burn rates, alert log) as JSON. Query params: seed
+// (default 1) and load (offered-load multiple of the saturation rate,
+// default 4 — past capacity, so the latency SLOs burn and alerts fire).
+// The final burn-rate values are folded into olympian_slo_burn_rate gauges
+// so the next GET /metrics scrape reflects the demo's SLO state.
+func (a *api) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	seed := int64(1)
+	if s := r.URL.Query().Get("seed"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q: %w", s, err))
+			return
+		}
+		seed = v
+	}
+	mult := 4.0
+	if s := r.URL.Query().Get("load"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v > 16 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad load %q (want 0 < load <= 16)", s))
+			return
+		}
+		mult = v
+	}
+	tl, err := runTimelineDemo(seed, mult)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	burns := tl.Burns()
+	keys := make([]string, 0, len(burns))
+	for k := range burns {
+		keys = append(keys, k)
+	}
+	// Sorted so gauge registration order (and thus /metrics output) is
+	// independent of map iteration order.
+	sort.Strings(keys)
+	for _, k := range keys {
+		vs := burns[k]
+		if len(vs) == 0 {
+			continue
+		}
+		slo, rule, _ := strings.Cut(k, "/")
+		a.metrics.Gauge("olympian_slo_burn_rate",
+			"Final long-window error-budget burn rate per SLO/rule pair from the latest GET /timeline demo (1 = burning exactly the budget).",
+			"slo", slo, "rule", rule).Set(vs[len(vs)-1])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tl.WriteJSON(w)
+}
+
+// runTimelineDemo replays the overload experiment's hardest sweep point with
+// the telemetry plane attached: open-loop Poisson arrivals at mult times the
+// single-device saturation rate against an AIMD-admitted serving front-end,
+// sampled every telemetry tick on the virtual clock. Everything runs in
+// simulated time, so the timeline is a deterministic function of (seed, mult).
+func runTimelineDemo(seed int64, mult float64) (*telemetry.Timeline, error) {
+	env := sim.NewEnv(seed)
+	defer env.Shutdown()
+	rec := obs.NewRecorder()
+	rec.Bind(env, "timeline-demo")
+	tcfg := telemetry.Config{SLOs: telemetry.DefaultServingSLOs(), Rules: telemetry.DefaultRules()}
+	sampler := telemetry.NewSampler(tcfg, rec.Registry())
+	sampler.Bind(env)
+	srv, err := serving.NewServer(env, serving.Config{
+		MaxBatch:     8,
+		BatchTimeout: 2 * time.Millisecond,
+		MaxQueue:     64,
+		Deadline:     120 * time.Millisecond,
+		Seed:         seed,
+		Admission:    &overload.AIMDConfig{},
+		Obs:          rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	const horizon = time.Second
+	rate := 260.0 * mult
+	rng := rand.New(rand.NewSource(seed + 57))
+	t := time.Duration(0)
+	n := 0
+	for {
+		t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if t >= horizon {
+			break
+		}
+		at := t
+		class := overload.Batch
+		if rng.Float64() < 0.3 {
+			class = overload.Interactive
+		}
+		n++
+		env.Go(fmt.Sprintf("client-%d", n), func(p *sim.Proc) {
+			p.Sleep(at)
+			req, err := srv.SubmitClass(p, model.Inception, class)
+			if err != nil {
+				return
+			}
+			req.Wait(p)
+		})
+	}
+	if err := env.Run(); err != nil {
+		return nil, err
+	}
+	tl := telemetry.Merge(tcfg, []*telemetry.Sampler{sampler})
+	tl.LogAlerts(rec)
+	return tl, nil
 }
 
 func (a *api) handleExperimentRun(w http.ResponseWriter, r *http.Request) {

@@ -172,6 +172,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`olympian_http_requests_total{endpoint="simulate"} 2`,
 		"olympian_simulations_total 1",
 		"olympian_simulation_errors_total 1",
+		// Per-endpoint latency is a native histogram family: bucket series,
+		// +Inf terminal bucket, and the count matching the request counter.
+		"# TYPE olympian_http_request_duration_seconds histogram",
+		`olympian_http_request_duration_seconds_bucket{endpoint="simulate",le="+Inf"} 2`,
+		`olympian_http_request_duration_seconds_count{endpoint="simulate"} 2`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics output missing %q:\n%s", want, body)
@@ -185,6 +190,57 @@ func TestMetricsEndpoint(t *testing.T) {
 	rec, _ = do(t, h, "GET", "/metrics", "")
 	if !strings.Contains(rec.Body.String(), `olympian_http_requests_total{endpoint="metrics"} 2`) {
 		t.Fatalf("metrics scrape counter stuck:\n%s", rec.Body.String())
+	}
+}
+
+func TestTimelineEndpoint(t *testing.T) {
+	h := newHandler()
+	rec, obj := do(t, h, "GET", "/timeline?seed=1&load=4", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	if obj["ticks"].(float64) <= 0 {
+		t.Fatalf("no ticks sampled: %v", obj["ticks"])
+	}
+	// 4x offered load runs past saturation, so the latency SLOs must burn
+	// fast enough to fire at least one alert on the virtual timeline.
+	alerts := obj["alerts"].([]any)
+	if len(alerts) == 0 {
+		t.Fatalf("no SLO alerts at 4x load:\n%s", rec.Body.String())
+	}
+	first := alerts[0].(map[string]any)
+	if first["state"] != "firing" {
+		t.Fatalf("first alert transition %v, want firing", first["state"])
+	}
+
+	// The demo is virtual-time only: same seed and load replay byte-identically.
+	rec2, _ := do(t, h, "GET", "/timeline?seed=1&load=4", "")
+	if rec.Body.String() != rec2.Body.String() {
+		t.Fatal("same-seed timeline responses differ")
+	}
+
+	// Final burn rates land on the scrape endpoint as slo/rule gauges.
+	mrec, _ := do(t, h, "GET", "/metrics", "")
+	prom := mrec.Body.String()
+	for _, want := range []string{
+		"# TYPE olympian_slo_burn_rate gauge",
+		`olympian_slo_burn_rate{slo="request-latency",rule="fast"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("scrape output missing %q:\n%s", want, prom)
+		}
+	}
+
+	rec, _ = do(t, h, "GET", "/timeline?load=bogus", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad load status %d", rec.Code)
+	}
+	rec, _ = do(t, h, "GET", "/timeline?seed=bogus", "")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad seed status %d", rec.Code)
 	}
 }
 

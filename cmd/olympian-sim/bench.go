@@ -20,10 +20,12 @@ import (
 	"olympian/internal/cluster"
 	"olympian/internal/gpu"
 	"olympian/internal/model"
+	"olympian/internal/obs"
 	"olympian/internal/overload"
 	"olympian/internal/profiler"
 	"olympian/internal/serving"
 	"olympian/internal/sim"
+	"olympian/internal/telemetry"
 	"olympian/internal/workload"
 )
 
@@ -63,6 +65,39 @@ func benchSuite() []struct {
 		{"cluster/sharded_8dev", benchShardedCluster8},
 		{"cluster/sharded_64dev", benchShardedCluster(64, 50_000)},
 		{"serving/continuous_batching", benchContinuousBatching},
+		{"telemetry/sampler", benchTelemetrySampler},
+	}
+}
+
+// benchTelemetrySampler measures the telemetry plane's per-event overhead
+// with sampling ON: a registry-instrumented event stream (counter bump +
+// histogram observation per event) scraped every DefaultInterval of
+// simulated time. The op is one simulated event, so the cost folds in the
+// amortized scrape work.
+func benchTelemetrySampler(b *testing.B) {
+	env := sim.NewEnv(1)
+	reg := obs.NewRegistry()
+	s := telemetry.NewSampler(telemetry.Config{}, reg)
+	s.Bind(env)
+	c := reg.Counter("olympian_bench_events_total", "bench")
+	h := reg.Histogram("olympian_bench_latency_seconds", "bench")
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		c.Inc()
+		h.Observe(time.Duration(n%1000) * time.Microsecond)
+		if n < b.N {
+			env.Schedule(50*time.Microsecond, tick)
+		}
+	}
+	env.Schedule(50*time.Microsecond, tick)
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if s.Ticks() == 0 && b.N > 200 {
+		b.Fatal("sampler never scraped")
 	}
 }
 

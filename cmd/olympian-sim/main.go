@@ -13,6 +13,7 @@
 //	olympian-sim -bench-json           # substrate benchmarks -> BENCH_<stamp>.json
 //	olympian-sim -bench-json -bench-baseline BENCH_baseline.json  # regression gate
 //	olympian-sim -trace-out t.json overload  # lifecycle trace for ui.perfetto.dev
+//	olympian-sim -timeline-out tl.json overload  # virtual-time telemetry + SLO alerts
 //
 // Each experiment prints the same rows the paper's table or figure reports,
 // plus derived notes and machine-readable metrics.
@@ -28,6 +29,7 @@ import (
 
 	"olympian/internal/experiments"
 	"olympian/internal/obs"
+	"olympian/internal/telemetry"
 	"olympian/internal/trace"
 )
 
@@ -57,17 +59,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("olympian-sim", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list experiment ids and exit")
-		all      = fs.Bool("all", false, "run every experiment")
-		quick    = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
-		seed     = fs.Int64("seed", 1, "simulation seed")
-		csv      = fs.Bool("csv", false, "emit rows as CSV instead of an aligned table")
-		scenFile = fs.String("scenario", "", "run a custom scenario JSON file instead of a paper experiment")
-		benchOut  = fs.Bool("bench-json", false, "run the substrate benchmark suite and write BENCH_<stamp>.json")
-		benchBase = fs.String("bench-baseline", "", "with -bench-json: compare against this baseline snapshot and fail on ns/op regressions")
-		benchTol  = fs.Float64("bench-tolerance", 0.25, "allowed fractional ns/op regression for -bench-baseline (0.25 = 25%)")
-		traceOut = fs.String("trace-out", "", "write a Perfetto/Chrome lifecycle trace of the runs to this file")
-		traceGPU = fs.Bool("trace-gpu", false, "include per-kernel GPU spans in the trace (hundreds of MB for full experiments)")
+		list        = fs.Bool("list", false, "list experiment ids and exit")
+		all         = fs.Bool("all", false, "run every experiment")
+		quick       = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+		seed        = fs.Int64("seed", 1, "simulation seed")
+		csv         = fs.Bool("csv", false, "emit rows as CSV instead of an aligned table")
+		scenFile    = fs.String("scenario", "", "run a custom scenario JSON file instead of a paper experiment")
+		benchOut    = fs.Bool("bench-json", false, "run the substrate benchmark suite and write BENCH_<stamp>.json")
+		benchBase   = fs.String("bench-baseline", "", "with -bench-json: compare against this baseline snapshot and fail on ns/op regressions")
+		benchTol    = fs.Float64("bench-tolerance", 0.25, "allowed fractional ns/op regression for -bench-baseline (0.25 = 25%)")
+		traceOut    = fs.String("trace-out", "", "write a Perfetto/Chrome lifecycle trace of the runs to this file")
+		traceGPU    = fs.Bool("trace-gpu", false, "include per-kernel GPU spans in the trace (hundreds of MB for full experiments)")
+		timelineOut = fs.String("timeline-out", "", "write the virtual-time telemetry timeline (series, burn rates, alert log) as JSON to this file; implies recording")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,12 +110,19 @@ func run(args []string) error {
 		return fmt.Errorf("no experiments given; use -list to see ids or -all to run everything")
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
-	if *traceOut != "" {
+	if *traceOut != "" || *timelineOut != "" {
 		opts.Obs = obs.NewRecorder()
 		if !*traceGPU {
 			opts.Obs.MuteLayer(obs.LayerGPU)
 		}
 	}
+	if *timelineOut != "" {
+		opts.Telemetry = &telemetry.Config{
+			SLOs:  telemetry.DefaultServingSLOs(),
+			Rules: telemetry.DefaultRules(),
+		}
+	}
+	var timeline *telemetry.Timeline
 	for _, id := range ids {
 		e, err := experiments.Lookup(id)
 		if err != nil {
@@ -131,9 +141,21 @@ func run(args []string) error {
 			rep.Fprint(os.Stdout)
 			fmt.Printf("(completed in %.1fs)\n\n", time.Since(start).Seconds())
 		}
+		if rep.Timeline != nil {
+			timeline = rep.Timeline
+		}
+	}
+	if *timelineOut != "" {
+		if timeline == nil {
+			return fmt.Errorf("-timeline-out: no selected experiment produced a telemetry timeline (try overload)")
+		}
+		if err := writeTimeline(*timelineOut, timeline); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote timeline:", *timelineOut)
 	}
 	if *traceOut != "" {
-		if err := writeTrace(*traceOut, opts.Obs); err != nil {
+		if err := writeTrace(*traceOut, opts.Obs, timeline); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "wrote trace:", *traceOut)
@@ -141,14 +163,28 @@ func run(args []string) error {
 	return nil
 }
 
-// writeTrace renders the recorder's lifecycle trace to path. Open it with
-// ui.perfetto.dev or chrome://tracing.
-func writeTrace(path string, rec *obs.Recorder) error {
+// writeTrace renders the recorder's lifecycle trace to path, overlaying the
+// telemetry timeline's burn-rate counter tracks when one was produced. Open
+// it with ui.perfetto.dev or chrome://tracing.
+func writeTrace(path string, rec *obs.Recorder, tl *telemetry.Timeline) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := trace.WriteLifecycle(f, rec.Trace()); err != nil {
+	if err := trace.WriteLifecycleTimeline(f, rec.Trace(), tl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTimeline dumps the merged telemetry timeline as deterministic JSON.
+func writeTimeline(path string, tl *telemetry.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteJSON(f); err != nil {
 		f.Close()
 		return err
 	}

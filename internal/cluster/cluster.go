@@ -33,6 +33,7 @@ import (
 	"olympian/internal/profiler"
 	"olympian/internal/serving"
 	"olympian/internal/sim"
+	"olympian/internal/telemetry"
 )
 
 // Config parameterises a cluster.
@@ -92,6 +93,15 @@ type Config struct {
 	// recorder into every device's serving stack. Nil keeps the zero-cost
 	// disabled path.
 	Obs *obs.Recorder
+	// Telemetry, when non-nil alongside Obs, binds a virtual-clock sampler to
+	// every shard (front-end and each device) scraping its shard-child
+	// registry each Interval of simulated time; ShardedCluster.Timeline
+	// merges them deterministically and evaluates the SLO burn-rate rules.
+	// Samplers only read registry state at heartbeat boundaries, so enabling
+	// telemetry never changes simulated results, on either engine. Ignored
+	// when Obs is nil (there are no registries to scrape) and by the legacy
+	// single-environment engine (New).
+	Telemetry *telemetry.Config
 
 	// NetLatency is the modeled front-end<->device network latency used by
 	// the sharded engine; it doubles as the conservative lookahead that
@@ -301,14 +311,14 @@ func New(env *sim.Env, cfg Config) (*Cluster, error) {
 			inj = faults.New(cfg.Seed+int64(i)*1031, *cfg.Faults[i])
 		}
 		srv, err := serving.NewServer(env, serving.Config{
-			Spec:         spec,
-			UseOlympian:  true,
-			Policy:       cfg.Policy(),
-			Quantum:      cfg.Quantum,
-			MaxBatch:     cfg.MaxBatch,
-			BatchTimeout: cfg.BatchTimeout,
-			MaxQueue:     cfg.MaxQueue,
-			Deadline:     cfg.Deadline,
+			Spec:               spec,
+			UseOlympian:        true,
+			Policy:             cfg.Policy(),
+			Quantum:            cfg.Quantum,
+			MaxBatch:           cfg.MaxBatch,
+			BatchTimeout:       cfg.BatchTimeout,
+			MaxQueue:           cfg.MaxQueue,
+			Deadline:           cfg.Deadline,
 			Seed:               cfg.Seed + int64(i)*101,
 			Faults:             inj,
 			Admission:          cfg.Admission,
@@ -623,7 +633,11 @@ type Stats struct {
 	// Utilization is each device's busy fraction over the run.
 	Utilization []float64
 	// PerModel holds cluster-level end-to-end latency percentiles, sorted
-	// by model name.
+	// by model name. Legacy path: this single-heap engine still derives them
+	// post hoc from the retained request list; the sharded engine and the
+	// serving layer record source histograms (obs.Hist) instead and read
+	// percentiles off the buckets in both retained and slim modes (DESIGN.md
+	// §15 "Telemetry plane").
 	PerModel []serving.ModelLatency
 	// Degraded merges every device's degraded-mode tallies.
 	Degraded metrics.Degraded

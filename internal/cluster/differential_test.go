@@ -13,6 +13,7 @@ import (
 	"olympian/internal/obs"
 	"olympian/internal/overload"
 	"olympian/internal/planner"
+	"olympian/internal/telemetry"
 	"olympian/internal/trace"
 )
 
@@ -143,6 +144,14 @@ func runSharded(t *testing.T, sc shardedScenario, engine Engine, workers int, sl
 	if err != nil {
 		t.Fatal(err)
 	}
+	driveSharded(t, c, sc)
+	return c.Stats()
+}
+
+// driveSharded submits a scenario's arrivals, runs the cluster to quiescence,
+// and folds the observability planes.
+func driveSharded(t *testing.T, c *ShardedCluster, sc shardedScenario) {
+	t.Helper()
 	env := c.FrontEnv()
 	for _, m := range sc.models {
 		m := m
@@ -163,7 +172,27 @@ func runSharded(t *testing.T, sc shardedScenario, engine Engine, workers int, sl
 	}
 	c.Shutdown()
 	c.FinishObs("run:" + sc.name)
-	return c.Stats()
+}
+
+// runShardedTelemetry is runSharded with the virtual-clock telemetry plane
+// attached: per-shard samplers over the default serving SLOs, merged into one
+// timeline by FinishObs.
+func runShardedTelemetry(t *testing.T, sc shardedScenario, engine Engine, workers int, rec *obs.Recorder) (Stats, *telemetry.Timeline) {
+	t.Helper()
+	cfg := sc.cfg()
+	cfg.Workers = workers
+	cfg.Obs = rec
+	cfg.Telemetry = &telemetry.Config{
+		Interval: time.Millisecond,
+		SLOs:     telemetry.DefaultServingSLOs(),
+		Rules:    telemetry.DefaultRules(),
+	}
+	c, err := NewSharded(cfg, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSharded(t, c, sc)
+	return c.Stats(), c.Timeline()
 }
 
 // renderObs renders a recorder's lifecycle trace and metrics to comparable
@@ -216,6 +245,60 @@ func TestShardedEnginesBitIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestShardedTelemetryBitIdentical extends the engine-identity invariant to
+// the telemetry plane: with per-shard samplers attached, the merged timeline
+// JSON, the alert log, and the full Prometheus exposition must be
+// byte-identical between the single-heap reference and the sharded engine at
+// worker counts {1,2} — and attaching the plane must not perturb the
+// simulation itself (stats match an unsampled, un-observed run).
+func TestShardedTelemetryBitIdentical(t *testing.T) {
+	sc := shardedScenarios()[3] // overload: queue pressure burns the latency SLOs
+	refRec := obs.NewRecorder()
+	refStats, refTL := runShardedTelemetry(t, sc, SingleHeap, 0, refRec)
+	if refTL == nil || refTL.Ticks == 0 {
+		t.Fatal("reference run sampled no telemetry ticks")
+	}
+	if len(refTL.HistKeys()) == 0 {
+		t.Fatal("no histogram families reached the timeline")
+	}
+	var refJSON bytes.Buffer
+	if err := refTL.WriteJSON(&refJSON); err != nil {
+		t.Fatal(err)
+	}
+	_, refProm := renderObs(t, refRec)
+
+	// Zero perturbation: the sampler only reads, so the sampled run's stats
+	// equal a run with no recorder and no sampler at all.
+	bare := runSharded(t, sc, SingleHeap, 0, false, nil)
+	if !reflect.DeepEqual(refStats, bare) {
+		t.Errorf("telemetry sampling perturbed the simulation\nsampled: %+v\nbare:    %+v", refStats, bare)
+	}
+
+	for _, workers := range []int{1, 2} {
+		rec := obs.NewRecorder()
+		gotStats, gotTL := runShardedTelemetry(t, sc, Sharded, workers, rec)
+		if !reflect.DeepEqual(refStats, gotStats) {
+			t.Errorf("workers=%d: stats differ from single-heap reference", workers)
+		}
+		if gotTL == nil {
+			t.Fatalf("workers=%d: sharded run produced no timeline", workers)
+		}
+		var gotJSON bytes.Buffer
+		if err := gotTL.WriteJSON(&gotJSON); err != nil {
+			t.Fatal(err)
+		}
+		if gotJSON.String() != refJSON.String() {
+			t.Errorf("workers=%d: timeline JSON differs from single-heap reference", workers)
+		}
+		if !reflect.DeepEqual(refTL.Alerts, gotTL.Alerts) {
+			t.Errorf("workers=%d: alert log differs\nref: %+v\ngot: %+v", workers, refTL.Alerts, gotTL.Alerts)
+		}
+		if _, gotProm := renderObs(t, rec); gotProm != refProm {
+			t.Errorf("workers=%d: Prometheus exposition differs from single-heap reference", workers)
+		}
 	}
 }
 

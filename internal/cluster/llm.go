@@ -41,6 +41,7 @@ import (
 	"olympian/internal/profiler"
 	"olympian/internal/serving"
 	"olympian/internal/sim"
+	"olympian/internal/telemetry"
 )
 
 // LLMConfig configures a prefill/decode-disaggregated fleet.
@@ -120,6 +121,10 @@ type LLMConfig struct {
 	Slim bool
 	// Obs, when non-nil, records the fleet's request lifecycle.
 	Obs *obs.Recorder
+	// Telemetry, when non-nil alongside Obs, binds a virtual-clock sampler
+	// per shard; LLMCluster.Timeline merges them and evaluates the SLO
+	// burn-rate rules. See cluster.Config.Telemetry.
+	Telemetry *telemetry.Config
 }
 
 func (cfg LLMConfig) withDefaults() LLMConfig {
@@ -259,13 +264,22 @@ type LLMCluster struct {
 	failovers, crashes, revives      int
 	retries, retryDenied             int
 	tokensDelivered, truncatedTokens int
-	ttfts, tpots                     []float64
 	perClass                         [overload.NumClasses]LLMClassStats
-	classTTFTs                       [overload.NumClasses][]float64
-	classTPOTs                       [overload.NumClasses][]float64
+
+	// Fleet-level TTFT/TPOT histograms recorded at settle on shard 0; the
+	// "all" series aggregates every class, the per-class series slice the
+	// same completions by priority. Stats derives its percentiles from these
+	// with bounded memory in both retained and Slim modes.
+	ttftHist, tpotHist     *obs.Hist
+	classTTFTs, classTPOTs [overload.NumClasses]*obs.Hist
 
 	children []*obs.Recorder
 	rec      *obs.Recorder
+
+	// samplers[i] scrapes children[i]'s registry on shard i's virtual clock;
+	// nil when telemetry is off. timeline caches the merged view.
+	samplers []*telemetry.Sampler
+	timeline *telemetry.Timeline
 
 	routesC      *obs.Series
 	failoversC   *obs.Series
@@ -313,6 +327,13 @@ func NewLLM(cfg LLMConfig, engine Engine) (*LLMCluster, error) {
 			c.children[i] = cfg.Obs.NewChild()
 			c.children[i].Attach(shards.Env(i))
 		}
+		if cfg.Telemetry != nil {
+			c.samplers = make([]*telemetry.Sampler, len(c.children))
+			for i := range c.children {
+				c.samplers[i] = telemetry.NewSampler(*cfg.Telemetry, c.children[i].Registry())
+				c.samplers[i].Bind(shards.Env(i))
+			}
+		}
 	}
 	c.rec = c.children[0]
 	reg := c.rec.Registry()
@@ -325,6 +346,13 @@ func NewLLM(cfg LLMConfig, engine Engine) (*LLMCluster, error) {
 	c.retryDeniedC = reg.Counter("olympian_cluster_llm_retry_denied_total", "Retries refused by the front-end retry budget.")
 	c.retryBudget = overload.NewRetryBudget(cfg.RetryBudgetMax, cfg.RetryRefund)
 	c.retryRng = rand.New(rand.NewSource(cfg.Seed ^ 0x72747279))
+	c.ttftHist = obs.EnsureHist(reg.Histogram("olympian_cluster_ttft_seconds", "Fleet time to first token over completions.", "class", "all"))
+	c.tpotHist = obs.EnsureHist(reg.Histogram("olympian_cluster_tpot_seconds", "Fleet mean inter-token gap over completions.", "class", "all"))
+	for cls := overload.Class(0); cls < overload.NumClasses; cls++ {
+		cl := cls.String()
+		c.classTTFTs[cls] = obs.EnsureHist(reg.Histogram("olympian_cluster_ttft_seconds", "Fleet time to first token over completions.", "class", cl))
+		c.classTPOTs[cls] = obs.EnsureHist(reg.Histogram("olympian_cluster_tpot_seconds", "Fleet mean inter-token gap over completions.", "class", cl))
+	}
 
 	// Profile each distinct spec once; replicas share the fitted curves, and
 	// the cost-weighted router charges prefill debt from the same fit.
@@ -687,12 +715,12 @@ func (c *LLMCluster) settle(r *LLMRequest, err error) {
 		pc.Completed++
 		c.retryBudget.OnSuccess()
 		if ttft := r.TTFT(); ttft > 0 {
-			c.ttfts = append(c.ttfts, ttft.Seconds())
-			c.classTTFTs[r.Class] = append(c.classTTFTs[r.Class], ttft.Seconds())
+			c.ttftHist.Observe(ttft)
+			c.classTTFTs[r.Class].Observe(ttft)
 		}
 		if tpot := r.TPOT(); tpot > 0 {
-			c.tpots = append(c.tpots, tpot.Seconds())
-			c.classTPOTs[r.Class] = append(c.classTPOTs[r.Class], tpot.Seconds())
+			c.tpotHist.Observe(tpot)
+			c.classTPOTs[r.Class].Observe(tpot)
 		}
 	case errors.Is(err, serving.ErrExpired):
 		c.expired++
@@ -750,6 +778,23 @@ func (c *LLMCluster) FinishObs(label string) {
 		return
 	}
 	c.cfg.Obs.Merge(label, c.children)
+	if tl := c.Timeline(); tl != nil {
+		tl.LogAlerts(c.cfg.Obs)
+	}
+}
+
+// Timeline merges the per-shard samplers into the run's fleet telemetry
+// timeline and evaluates the configured SLO burn-rate rules; identical on
+// both engines. Returns nil when telemetry is off; call after Run (the
+// merge is cached).
+func (c *LLMCluster) Timeline() *telemetry.Timeline {
+	if c.samplers == nil {
+		return nil
+	}
+	if c.timeline == nil {
+		c.timeline = telemetry.Merge(*c.cfg.Telemetry, c.samplers)
+	}
+	return c.timeline
 }
 
 // LLMClassStats is one priority class's fleet-level accounting. LostTokens
@@ -842,14 +887,17 @@ func (c *LLMCluster) Stats() LLMClusterStats {
 		RetryDenied:     c.retryDenied,
 		TruncatedTokens: c.truncatedTokens,
 		TokensDelivered: c.tokensDelivered,
-		Tokens:          metrics.TokenPercentilesOf(c.ttfts, c.tpots),
-		PerClass:        c.perClass,
-		Decisions:       c.router.Count(),
-		DecisionHash:    c.router.DecisionHash(),
+		Tokens: metrics.TokenPercentiles{
+			TTFT: serving.HistPercentiles(c.ttftHist),
+			TPOT: serving.HistPercentiles(c.tpotHist),
+		},
+		PerClass:     c.perClass,
+		Decisions:    c.router.Count(),
+		DecisionHash: c.router.DecisionHash(),
 	}
 	for cls := range st.PerClass {
-		st.PerClass[cls].TTFT = metrics.PercentilesOf(c.classTTFTs[cls])
-		st.PerClass[cls].TPOT = metrics.PercentilesOf(c.classTPOTs[cls])
+		st.PerClass[cls].TTFT = serving.HistPercentiles(c.classTTFTs[cls])
+		st.PerClass[cls].TPOT = serving.HistPercentiles(c.classTPOTs[cls])
 	}
 	for _, srv := range c.servers {
 		ds := srv.Stats()

@@ -36,11 +36,11 @@ import (
 	"time"
 
 	"olympian/internal/faults"
-	"olympian/internal/metrics"
 	"olympian/internal/obs"
 	"olympian/internal/overload"
 	"olympian/internal/serving"
 	"olympian/internal/sim"
+	"olympian/internal/telemetry"
 )
 
 // Engine selects how a sharded cluster executes its shards.
@@ -93,12 +93,21 @@ type ShardedCluster struct {
 	hedges     int
 	hedgeWins  int
 	partitions int
-	byModel    map[string][]float64
+	// byModel holds fleet-level end-to-end latency histograms recorded at
+	// settle (front-end arrival to winning report), one per model; Stats
+	// derives PerModel from these with bounded memory in both retained and
+	// Slim modes.
+	byModel map[string]*obs.Hist
 
 	// children[0] records the front-end, children[i+1] device i; merged onto
 	// cfg.Obs by FinishObs. All nil when recording is off.
 	children []*obs.Recorder
 	rec      *obs.Recorder
+
+	// samplers[i] scrapes children[i]'s registry on shard i's virtual clock;
+	// nil when telemetry is off. timeline caches the merged view.
+	samplers []*telemetry.Sampler
+	timeline *telemetry.Timeline
 
 	routesC     *obs.Series
 	failoversC  *obs.Series
@@ -182,13 +191,20 @@ func NewSharded(cfg Config, engine Engine) (*ShardedCluster, error) {
 		shards:     shards,
 		net:        cfg.NetLatency,
 		attemptReq: make(map[int]*ShardedRequest),
-		byModel:    make(map[string][]float64),
+		byModel:    make(map[string]*obs.Hist),
 		children:   make([]*obs.Recorder, n+1),
 	}
 	if cfg.Obs != nil {
 		for i := range c.children {
 			c.children[i] = cfg.Obs.NewChild()
 			c.children[i].Attach(shards.Env(i))
+		}
+		if cfg.Telemetry != nil {
+			c.samplers = make([]*telemetry.Sampler, len(c.children))
+			for i := range c.children {
+				c.samplers[i] = telemetry.NewSampler(*cfg.Telemetry, c.children[i].Registry())
+				c.samplers[i].Bind(shards.Env(i))
+			}
 		}
 	}
 	c.rec = c.children[0]
@@ -216,14 +232,14 @@ func NewSharded(cfg Config, engine Engine) (*ShardedCluster, error) {
 			inj = faults.New(cfg.Seed+int64(i)*1031, *cfg.Faults[i])
 		}
 		srv, err := serving.NewServer(env, serving.Config{
-			Spec:         spec,
-			UseOlympian:  true,
-			Policy:       cfg.Policy(),
-			Quantum:      cfg.Quantum,
-			MaxBatch:     cfg.MaxBatch,
-			BatchTimeout: cfg.BatchTimeout,
-			MaxQueue:     cfg.MaxQueue,
-			Deadline:     cfg.Deadline,
+			Spec:               spec,
+			UseOlympian:        true,
+			Policy:             cfg.Policy(),
+			Quantum:            cfg.Quantum,
+			MaxBatch:           cfg.MaxBatch,
+			BatchTimeout:       cfg.BatchTimeout,
+			MaxQueue:           cfg.MaxQueue,
+			Deadline:           cfg.Deadline,
 			Seed:               cfg.Seed + int64(i)*101,
 			Faults:             inj,
 			Admission:          cfg.Admission,
@@ -498,7 +514,7 @@ func (c *ShardedCluster) settle(r *ShardedRequest, dev int, err error) {
 	if err == nil {
 		r.Device = dev
 		c.completed++
-		c.byModel[r.Model] = append(c.byModel[r.Model], r.Latency().Seconds())
+		c.modelHist(r.Model).Observe(r.Latency())
 	} else {
 		c.failed++
 	}
@@ -508,6 +524,20 @@ func (c *ShardedCluster) settle(r *ShardedRequest, dev int, err error) {
 		c.shards.Send(0, a.dev+1, c.net, func() { agent.enqueue(op) })
 		c.rec.Instant(obs.LayerCluster, "cancel_loser", r.ID, int(r.Class), obs.NoDevice, int64(a.dev))
 	}
+}
+
+// modelHist lazily creates the fleet-level per-model latency histogram on
+// the front-end recorder. First-settle order is deterministic for a given
+// seed and identical across engines, so registration order matches too.
+func (c *ShardedCluster) modelHist(modelName string) *obs.Hist {
+	h, ok := c.byModel[modelName]
+	if !ok {
+		h = obs.EnsureHist(c.rec.Registry().Histogram(
+			"olympian_cluster_model_latency_seconds", "Fleet end-to-end latency by model.",
+			"model", modelName))
+		c.byModel[modelName] = h
+	}
+	return h
 }
 
 // armHedge schedules the request's hedge timer on the front-end heap: if the
@@ -581,12 +611,33 @@ func (c *ShardedCluster) Run() error { return c.shards.Run() }
 func (c *ShardedCluster) Shutdown() { c.shards.Shutdown() }
 
 // FinishObs folds the per-shard recorders onto cfg.Obs under one boundary
-// label. Call once after Run; a no-op when recording is off.
+// label, then logs any SLO burn-rate alert transitions as telemetry-layer
+// instants on the same merged time base. Call once after Run; a no-op when
+// recording is off.
 func (c *ShardedCluster) FinishObs(label string) {
 	if c.cfg.Obs == nil {
 		return
 	}
 	c.cfg.Obs.Merge(label, c.children)
+	if tl := c.Timeline(); tl != nil {
+		tl.LogAlerts(c.cfg.Obs)
+	}
+}
+
+// Timeline merges the per-shard samplers into the run's fleet telemetry
+// timeline and evaluates the configured SLO burn-rate rules. Each shard's
+// sampler ticks on its own virtual clock; Merge extends the early-quiescing
+// ones to the global tick count, so the result is identical on the
+// single-heap and parallel engines. Returns nil when telemetry is off; call
+// after Run (the merge is cached).
+func (c *ShardedCluster) Timeline() *telemetry.Timeline {
+	if c.samplers == nil {
+		return nil
+	}
+	if c.timeline == nil {
+		c.timeline = telemetry.Merge(*c.cfg.Telemetry, c.samplers)
+	}
+	return c.timeline
 }
 
 // Stats summarises the cluster's activity so far. Rates use the shard
@@ -634,7 +685,7 @@ func (c *ShardedCluster) Stats() Stats {
 	sort.Strings(names)
 	for _, name := range names {
 		st.PerModel = append(st.PerModel, serving.ModelLatency{
-			Model: name, Latency: metrics.PercentilesOf(c.byModel[name]),
+			Model: name, Latency: serving.HistPercentiles(c.byModel[name]),
 		})
 	}
 	if now > 0 {

@@ -147,8 +147,11 @@ func Chaos(o Options) (*Report, error) {
 	if st2, drained2, _ := serve(nil); !reflect.DeepEqual(st, st2) || drained != drained2 {
 		deterministic = false
 	}
-	r.AddRow("serving+bursts",
-		fmt.Sprintf("p99/p50 %.2f", st.P99/st.P50),
+	tailRatio := "no samples"
+	if st.P50 > 0 {
+		tailRatio = fmt.Sprintf("p99/p50 %.2f", st.P99/st.P50)
+	}
+	r.AddRow("serving+bursts", tailRatio,
 		metrics.FormatSeconds(drained), st.Degraded.String())
 
 	for _, ml := range st.PerModel {

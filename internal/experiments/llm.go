@@ -144,12 +144,18 @@ func LLM(o Options) (*Report, error) {
 			if dist.Name == "chat" {
 				ttftP99ByLoad[load] = st.Tokens.TTFT.P99
 			}
+			ttftCell, tpotCell := "-", "-"
+			if st.Tokens.TTFT.Ok() {
+				ttftCell = fmt.Sprintf("%.1f/%.1f/%.1f", st.Tokens.TTFT.P50*1e3, st.Tokens.TTFT.P95*1e3, st.Tokens.TTFT.P99*1e3)
+			}
+			if st.Tokens.TPOT.Ok() {
+				tpotCell = fmt.Sprintf("%.2f/%.2f", st.Tokens.TPOT.P50*1e3, st.Tokens.TPOT.P99*1e3)
+			}
 			rep.AddRow(
 				dist.Name, fmt.Sprintf("%.1fx", load),
 				fmt.Sprintf("%d", st.Completed), fmt.Sprintf("%d", st.Shed),
 				fmt.Sprintf("%d", st.Preemptions),
-				fmt.Sprintf("%.1f/%.1f/%.1f", st.Tokens.TTFT.P50*1e3, st.Tokens.TTFT.P95*1e3, st.Tokens.TTFT.P99*1e3),
-				fmt.Sprintf("%.2f/%.2f", st.Tokens.TPOT.P50*1e3, st.Tokens.TPOT.P99*1e3),
+				ttftCell, tpotCell,
 				fmt.Sprintf("%.0f", st.Goodput),
 				fmt.Sprintf("%.0f", st.TokensPerSec),
 			)

@@ -7,6 +7,7 @@ import (
 	"olympian/internal/model"
 	"olympian/internal/obs"
 	"olympian/internal/profiler"
+	"olympian/internal/telemetry"
 	"olympian/internal/workload"
 )
 
@@ -27,6 +28,13 @@ type Options struct {
 	// scenario once. Recording forces observed run batches to execute
 	// serially; results are unchanged.
 	Obs *obs.Recorder
+	// Telemetry, when non-nil alongside Obs, enables the virtual-time
+	// telemetry plane on instrumented runs: registries are scraped on the
+	// simulated clock and SLO burn-rate rules are evaluated, with the merged
+	// timeline landing in Report.Timeline (olympian-sim's -timeline-out).
+	// Determinism probes stay un-observed and un-sampled, so the experiments'
+	// same-seed identity checks double as zero-perturbation checks.
+	Telemetry *telemetry.Config
 }
 
 func (o Options) withDefaults() Options {

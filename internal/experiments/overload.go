@@ -15,14 +15,16 @@ import (
 	"olympian/internal/overload"
 	"olympian/internal/serving"
 	"olympian/internal/sim"
+	"olympian/internal/telemetry"
 )
 
 // overloadPoint is one offered-load multiple's outcome.
 type overloadPoint struct {
-	mult    float64
-	offered int
-	stats   serving.Stats
-	horizon time.Duration
+	mult     float64
+	offered  int
+	stats    serving.Stats
+	horizon  time.Duration
+	timeline *telemetry.Timeline // non-nil when the point ran sampled
 }
 
 // overloadServe runs the serving front-end at one offered-load multiple with
@@ -33,6 +35,14 @@ func overloadServe(o Options, rate float64, horizon time.Duration, rec *obs.Reco
 	env := sim.NewEnv(o.Seed)
 	defer env.Shutdown()
 	rec.Bind(env, "run:"+label)
+	// The sampler scrapes rec's registry on the virtual clock; when rec is
+	// nil (the determinism probe) the registry is nil and the sampler stays
+	// disabled, so the probe doubles as the zero-perturbation check.
+	var sampler *telemetry.Sampler
+	if o.Telemetry != nil {
+		sampler = telemetry.NewSampler(*o.Telemetry, rec.Registry())
+		sampler.Bind(env)
+	}
 	srv, err := serving.NewServer(env, serving.Config{
 		MaxBatch:     8,
 		BatchTimeout: 2 * time.Millisecond,
@@ -75,7 +85,12 @@ func overloadServe(o Options, rate float64, horizon time.Duration, rec *obs.Reco
 	if vs := invariant.CheckServing("overload-point", st); len(vs) > 0 {
 		return overloadPoint{}, fmt.Errorf("overload: request conservation violated: %v", vs)
 	}
-	return overloadPoint{offered: n, stats: st, horizon: horizon}, nil
+	pt := overloadPoint{offered: n, stats: st, horizon: horizon}
+	if sampler != nil {
+		pt.timeline = telemetry.Merge(*o.Telemetry, []*telemetry.Sampler{sampler})
+		pt.timeline.LogAlerts(rec)
+	}
+	return pt, nil
 }
 
 // overloadHedge drives a two-device fleet where device 0 stalls repeatedly,
@@ -216,6 +231,23 @@ func Overload(o Options) (*Report, error) {
 	rep.SetMetric("interactive_completed_4x", float64(inter.Completed))
 	rep.SetMetric("admission_sheds_4x", float64(last.stats.Degraded.AdmissionSheds))
 	rep.SetMetric("evictions_4x", float64(last.stats.Degraded.Evictions))
+
+	// Telemetry plane: the 4x point's merged timeline (sampled on the virtual
+	// clock) carries the burn-rate alert log; past saturation the latency SLO
+	// must burn fast enough to fire at least one alert.
+	if last.timeline != nil {
+		rep.Timeline = last.timeline
+		firing := 0
+		for _, a := range last.timeline.Alerts {
+			if a.State == "firing" {
+				firing++
+			}
+		}
+		rep.AddNote("telemetry at 4x: %d ticks sampled, %d alert transitions (%d firing)",
+			last.timeline.Ticks, len(last.timeline.Alerts), firing)
+		rep.SetMetric("slo_alerts_4x", float64(len(last.timeline.Alerts)))
+		rep.SetMetric("slo_alerts_firing_4x", float64(firing))
+	}
 
 	// Determinism of the hardest sweep point: a same-seed rerun must
 	// reproduce every counter, including the per-class break-down. It runs

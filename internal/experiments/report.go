@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"olympian/internal/telemetry"
 )
 
 // Report is the printable result of one experiment.
@@ -27,6 +29,11 @@ type Report struct {
 	// Metrics are machine-readable values for benchmark reporting and
 	// shape assertions.
 	Metrics map[string]float64
+	// Timeline carries the experiment's virtual-time telemetry (ring-buffer
+	// series, burn rates, alert log) when it ran with Options.Telemetry;
+	// olympian-sim's -timeline-out dumps it. Nil otherwise. Fprint does not
+	// render it.
+	Timeline *telemetry.Timeline
 }
 
 // SetMetric records a machine-readable metric.

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketMonotone checks the bucket locator against a brute-force
+// linear scan over the shared boundaries.
+func TestHistBucketMonotone(t *testing.T) {
+	brute := func(ns int64) int {
+		for i, b := range histBoundsNs {
+			if ns <= b {
+				return i
+			}
+		}
+		return numHistBuckets
+	}
+	samples := []int64{0, 1, 999, 1000, 1001, 1189, 1190, 5000, 1e6, 1e9, 3e12, math.MaxInt64 / 2}
+	for _, ns := range samples {
+		if got, want := histBucket(time.Duration(ns)), brute(ns); got != want {
+			t.Fatalf("histBucket(%dns) = %d, want %d", ns, got, want)
+		}
+	}
+	for i, b := range histBoundsNs {
+		if got := histBucket(time.Duration(b)); got != i {
+			t.Fatalf("boundary %d (%dns) landed in bucket %d", i, b, got)
+		}
+		if got := histBucket(time.Duration(b + 1)); i < numHistBuckets-1 && got != i+1 {
+			t.Fatalf("boundary %d +1ns landed in bucket %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestHistQuantileError checks the estimator's relative error stays within
+// the log-bucket bound for a known distribution.
+func TestHistQuantileError(t *testing.T) {
+	h := NewHist()
+	// 1000 samples uniform over [1ms, 2ms): exact p50 ≈ 1.5ms.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond + time.Duration(i)*time.Microsecond)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := 0.001 + q*0.001
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.19 {
+			t.Fatalf("q=%v: got %v, exact %v, relative error %.3f > 0.19", q, got, exact, rel)
+		}
+	}
+	if n, p50, p95, p99 := h.Percentiles(); n != 1000 || !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("percentiles not monotone: n=%d p50=%v p95=%v p99=%v", n, p50, p95, p99)
+	}
+}
+
+// TestHistogramAbsorbMergesExactly checks the Absorb contract for the
+// histogram kind: folding shard-child registries in any grouping reproduces
+// the histogram a single shared recorder would hold, bucket for bucket, and
+// renders byte-identical exposition.
+func TestHistogramAbsorbMergesExactly(t *testing.T) {
+	shared := NewRegistry()
+	sh := shared.Histogram("olympian_test_latency_seconds", "h", "device", "0")
+	children := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+	for ci, c := range children {
+		h := c.Histogram("olympian_test_latency_seconds", "h", "device", "0")
+		for i := 0; i < 100; i++ {
+			d := time.Duration(ci*1000+i*37) * time.Microsecond
+			h.Observe(d)
+			sh.Observe(d)
+		}
+	}
+	merged := NewRegistry()
+	for _, c := range children {
+		merged.Absorb(c)
+	}
+	var a, b strings.Builder
+	if err := shared.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("merged exposition differs from shared:\nshared:\n%s\nmerged:\n%s", a.String(), b.String())
+	}
+	mh := merged.Histogram("olympian_test_latency_seconds", "h", "device", "0")
+	if mh.Count() != sh.Count() || mh.SumNanos() != sh.SumNanos() || mh.Buckets() != sh.Buckets() {
+		t.Fatal("merged histogram state differs from shared recorder")
+	}
+	if !strings.Contains(a.String(), "# TYPE olympian_test_latency_seconds histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), `le="+Inf"`) {
+		t.Fatal("missing +Inf bucket")
+	}
+}
+
+// TestAbsorbUntouchedGaugeNonClobber checks that absorbing a child that
+// registered but never wrote a gauge leaves the parent's value alone, while
+// an untouched histogram still registers (so the fold renders the same
+// series a shared recorder would).
+func TestAbsorbUntouchedGaugeNonClobber(t *testing.T) {
+	parent := NewRegistry()
+	parent.Gauge("olympian_test_gauge", "g").Set(7)
+	child := NewRegistry()
+	child.Gauge("olympian_test_gauge", "g")         // registered, never written
+	child.Histogram("olympian_test_h_seconds", "h") // registered, never observed
+	parent.Absorb(child)
+	if v := parent.Gauge("olympian_test_gauge", "g").Value(); v != 7 {
+		t.Fatalf("untouched child clobbered gauge: got %v, want 7", v)
+	}
+	var b strings.Builder
+	if err := parent.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "olympian_test_h_seconds_count 0") {
+		t.Fatalf("untouched histogram not registered in fold:\n%s", b.String())
+	}
+}
+
+// TestConcurrentObserveAbsorb exercises concurrent Observe, Absorb, and
+// renders under the race detector: the registry must tolerate the serve
+// CLI's HTTP handler scraping while a run merges children.
+func TestConcurrentObserveAbsorb(t *testing.T) {
+	parent := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			child := NewRegistry()
+			h := child.Histogram("olympian_test_latency_seconds", "h", "worker", fmt.Sprint(w))
+			c := child.Counter("olympian_test_total", "c", "worker", fmt.Sprint(w))
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+				c.Inc()
+			}
+			parent.Absorb(child)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ph := parent.Histogram("olympian_test_latency_seconds", "h", "worker", "p")
+		for i := 0; i < 1000; i++ {
+			ph.Observe(time.Millisecond)
+			var b strings.Builder
+			if i%100 == 0 {
+				_ = parent.WritePrometheus(&b)
+				_ = parent.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	total := 0
+	for w := 0; w < 4; w++ {
+		total += parent.Histogram("olympian_test_latency_seconds", "h", "worker", fmt.Sprint(w)).Count()
+	}
+	if total != 4000 {
+		t.Fatalf("lost observations across concurrent absorbs: got %d, want 4000", total)
+	}
+}

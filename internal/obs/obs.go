@@ -44,6 +44,9 @@ const (
 	// LayerHarness is the workload harness: closed-loop client batches and
 	// run boundaries.
 	LayerHarness
+	// LayerTelemetry is the telemetry plane: SLO burn-rate alert
+	// transitions evaluated on the sampled virtual timeline.
+	LayerTelemetry
 	numLayers
 )
 
@@ -62,6 +65,8 @@ func (l Layer) String() string {
 		return "overload"
 	case LayerHarness:
 		return "harness"
+	case LayerTelemetry:
+		return "telemetry"
 	default:
 		return "unknown"
 	}
@@ -400,6 +405,33 @@ func (r *Recorder) Instant(layer Layer, name string, req, class, device int, arg
 		return
 	}
 	t := r.now()
+	r.points = append(r.points, Instant{
+		Req: int32(req), Class: int8(class), Device: int16(device),
+		Layer: layer, Name: name, At: t, Arg: arg,
+	})
+	r.note(t)
+}
+
+// Base returns the current run time-base offset: the shift Bind/Merge apply
+// so successive runs occupy disjoint trace intervals. Renderers that overlay
+// post-hoc data (telemetry counter tracks) add it to run-relative timestamps
+// to land on the same interval as the run's spans.
+func (r *Recorder) Base() sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.base
+}
+
+// InstantAt records a point event at an explicit time on the bound run's
+// clock (shifted by the current base, like Span's retroactive recording).
+// The telemetry plane uses it to log alert transitions evaluated after the
+// run onto the positions they occupied on the virtual timeline.
+func (r *Recorder) InstantAt(layer Layer, name string, req, class, device int, at sim.Time, arg int64) {
+	if r == nil || r.muted(layer) {
+		return
+	}
+	t := r.base + at
 	r.points = append(r.points, Instant{
 		Req: int32(req), Class: int8(class), Device: int16(device),
 		Layer: layer, Name: name, At: t, Arg: arg,

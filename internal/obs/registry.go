@@ -10,24 +10,45 @@ import (
 	"sync/atomic"
 )
 
-// A Registry holds named counter and gauge families and renders them in
-// Prometheus text exposition format. It is safe for concurrent use: series
-// values are atomics, family registration takes a mutex. A nil *Registry
-// hands out nil series whose methods are no-ops, so instrumentation can be
-// wired unconditionally.
+// A Registry holds named counter, gauge, and histogram families and renders
+// them in Prometheus text exposition format. It is safe for concurrent use:
+// series values are atomics, family registration takes a mutex. A nil
+// *Registry hands out nil series whose methods are no-ops, so
+// instrumentation can be wired unconditionally.
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string
 }
 
+// familyKind distinguishes how a family's series accumulate and render.
+type familyKind uint8
+
+const (
+	kindGauge familyKind = iota
+	kindCounter
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
 type family struct {
-	name    string
-	help    string
-	counter bool // false = gauge
-	mu      sync.Mutex
-	series  map[string]*Series
-	order   []string
+	name   string
+	help   string
+	kind   familyKind
+	mu     sync.Mutex
+	series map[string]*Series
+	hists  map[string]*Hist
+	order  []string
 }
 
 // Series is one (family, label set) time series. Its value is a float64
@@ -46,12 +67,15 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
-func (g *Registry) family(name, help string, counter bool) *family {
+func (g *Registry) family(name, help string, kind familyKind) *family {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	f := g.families[name]
 	if f == nil {
-		f = &family{name: name, help: help, counter: counter, series: make(map[string]*Series)}
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*Series)}
+		if kind == kindHistogram {
+			f.hists = make(map[string]*Hist)
+		}
 		g.families[name] = f
 		g.order = append(g.order, name)
 	}
@@ -99,13 +123,25 @@ func (f *family) getByKey(key string) *Series {
 	return s
 }
 
+func (f *family) getHistByKey(key string) *Hist {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.hists[key]
+	if h == nil {
+		h = &Hist{labels: key}
+		f.hists[key] = h
+		f.order = append(f.order, key)
+	}
+	return h
+}
+
 // Counter registers (or finds) a counter family and returns the series for
 // the given label key/value pairs. A nil registry returns a nil series.
 func (g *Registry) Counter(name, help string, labels ...string) *Series {
 	if g == nil {
 		return nil
 	}
-	return g.family(name, help, true).get(labels)
+	return g.family(name, help, kindCounter).get(labels)
 }
 
 // Gauge registers (or finds) a gauge family and returns the series for the
@@ -114,7 +150,19 @@ func (g *Registry) Gauge(name, help string, labels ...string) *Series {
 	if g == nil {
 		return nil
 	}
-	return g.family(name, help, false).get(labels)
+	return g.family(name, help, kindGauge).get(labels)
+}
+
+// Histogram registers (or finds) a histogram family and returns the series
+// for the given label key/value pairs. Every histogram shares the same
+// fixed log bucket boundaries (see hist.go), so shard-child histograms
+// Absorb exactly and equal state renders byte-identical exposition. A nil
+// registry returns a nil *Hist whose methods are no-ops.
+func (g *Registry) Histogram(name, help string, labels ...string) *Hist {
+	if g == nil {
+		return nil
+	}
+	return g.family(name, help, kindHistogram).getHistByKey(renderLabels(labels))
 }
 
 // Add increments the series by delta. No-op on a nil series.
@@ -161,9 +209,45 @@ func formatValue(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
+// histLabelKey splices extra into a rendered label suffix: `{a="b"}` +
+// `le="x"` -> `{a="b",le="x"}`, “ + `le="x"` -> `{le="x"}`.
+func histLabelKey(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// writeHist renders one histogram series: cumulative `_bucket` lines with
+// `le` upper bounds in seconds, then `_sum` (exact, from the integer
+// nanosecond accumulator) and `_count`.
+func writeHist(w io.Writer, name string, h *Hist) error {
+	cum := uint64(0)
+	for i := 0; i < numHistBuckets; i++ {
+		cum += h.counts[i].Load()
+		key := histLabelKey(h.labels, fmt.Sprintf(`le="%s"`, formatValue(histBoundsSec[i])))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, key, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[numHistBuckets].Load()
+	key := histLabelKey(h.labels, `le="+Inf"`)
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, key, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, h.labels, formatValue(h.SumSeconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, h.labels, cum)
+	return err
+}
+
 // WritePrometheus renders every family in text exposition format. Families
 // appear in name order and series in label order, so output for equal
-// state is byte-identical.
+// state is byte-identical. Each family's series set is snapshotted under a
+// single lock acquisition; values are read from their atomics afterwards,
+// so a concurrent writer can move a value mid-render but never the set or
+// order of lines.
 func (g *Registry) WritePrometheus(w io.Writer) error {
 	if g == nil {
 		return nil
@@ -179,27 +263,37 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	g.mu.Unlock()
 
 	for _, f := range fams {
-		kind := "gauge"
-		if f.counter {
-			kind = "counter"
-		}
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
 		f.mu.Lock()
 		keys := make([]string, len(f.order))
 		copy(keys, f.order)
+		series := make([]*Series, len(keys))
+		hists := make([]*Hist, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+			hists[i] = f.hists[k]
+		}
 		f.mu.Unlock()
-		sort.Strings(keys)
-		for _, k := range keys {
-			f.mu.Lock()
-			s := f.series[k]
-			f.mu.Unlock()
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		for _, i := range idx {
+			if h := hists[i]; h != nil {
+				if err := writeHist(w, f.name, h); err != nil {
+					return err
+				}
+				continue
+			}
+			s := series[i]
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.Value())); err != nil {
 				return err
 			}
@@ -208,12 +302,13 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// Absorb folds other's series into this registry: counter values add and a
-// gauge takes other's value when other ever wrote it (a child that never
-// touched a gauge must not clobber the parent's). Families and series are
-// created as needed, in other's registration order, so absorbing children
-// deterministically reproduces the registry a single shared recorder would
-// have built — rendered output is sorted either way.
+// Absorb folds other's series into this registry: counter values and
+// histogram buckets add, and a gauge takes other's value when other ever
+// wrote it (a child that never touched a gauge must not clobber the
+// parent's). Families and series are created as needed, in other's
+// registration order, so absorbing children deterministically reproduces
+// the registry a single shared recorder would have built — rendered output
+// is sorted either way.
 func (g *Registry) Absorb(other *Registry) {
 	if g == nil || other == nil {
 		return
@@ -225,21 +320,27 @@ func (g *Registry) Absorb(other *Registry) {
 		other.mu.Lock()
 		of := other.families[name]
 		other.mu.Unlock()
-		f := g.family(of.name, of.help, of.counter)
+		f := g.family(of.name, of.help, of.kind)
 		of.mu.Lock()
 		keys := append([]string(nil), of.order...)
 		of.mu.Unlock()
 		for _, k := range keys {
 			of.mu.Lock()
 			os := of.series[k]
+			oh := of.hists[k]
 			of.mu.Unlock()
+			if oh != nil {
+				// Register even when untouched, then add exactly.
+				f.getHistByKey(k).absorb(oh)
+				continue
+			}
 			// Register the series even when untouched: a shared recorder
 			// renders zero-valued registered series, so the fold must too.
 			s := f.getByKey(k)
 			if !os.touched.Load() {
 				continue
 			}
-			if of.counter {
+			if of.kind == kindCounter {
 				s.Add(os.Value())
 			} else {
 				s.Set(os.Value())
@@ -248,8 +349,9 @@ func (g *Registry) Absorb(other *Registry) {
 	}
 }
 
-// Snapshot returns every series value keyed by "name{labels}". Experiments
-// use it to fold metrics into reports without parsing text.
+// Snapshot returns every scalar series value keyed by "name{labels}", plus
+// each histogram's "<name>_count{labels}" and "<name>_sum{labels}".
+// Experiments use it to fold metrics into reports without parsing text.
 func (g *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64)
 	if g == nil {
@@ -266,7 +368,70 @@ func (g *Registry) Snapshot() map[string]float64 {
 		for k, s := range f.series {
 			out[f.name+k] = s.Value()
 		}
+		for k, h := range f.hists {
+			out[f.name+"_count"+k] = float64(h.Count())
+			out[f.name+"_sum"+k] = h.SumSeconds()
+		}
 		f.mu.Unlock()
 	}
 	return out
+}
+
+// VisitScalars calls fn for each scalar (counter or gauge) series of every
+// family, in registration order, with the series' touched state. The
+// telemetry sampler scrapes through this each tick.
+func (g *Registry) VisitScalars(fn func(name, labels string, counter bool, v float64, touched bool)) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	names := append([]string(nil), g.order...)
+	g.mu.Unlock()
+	for _, name := range names {
+		g.mu.Lock()
+		f := g.families[name]
+		g.mu.Unlock()
+		if f.kind == kindHistogram {
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		ss := make([]*Series, len(keys))
+		for i, k := range keys {
+			ss[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for i, k := range keys {
+			fn(f.name, k, f.kind == kindCounter, ss[i].Value(), ss[i].touched.Load())
+		}
+	}
+}
+
+// VisitHists calls fn for each histogram series of every family, in
+// registration order.
+func (g *Registry) VisitHists(fn func(name, labels string, h *Hist)) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	names := append([]string(nil), g.order...)
+	g.mu.Unlock()
+	for _, name := range names {
+		g.mu.Lock()
+		f := g.families[name]
+		g.mu.Unlock()
+		if f.kind != kindHistogram {
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		hs := make([]*Hist, len(keys))
+		for i, k := range keys {
+			hs[i] = f.hists[k]
+		}
+		f.mu.Unlock()
+		for i, k := range keys {
+			fn(f.name, k, hs[i])
+		}
+	}
 }

@@ -122,8 +122,8 @@ func TestAbsorbRules(t *testing.T) {
 
 	child := NewRegistry()
 	child.Counter("c_total", "c").Add(2)
-	child.Gauge("g", "g")              // registered, never set
-	child.Gauge("h", "h")              // new, untouched: must register at 0
+	child.Gauge("g", "g")             // registered, never set
+	child.Gauge("h", "h")             // new, untouched: must register at 0
 	child.Gauge("set_g", "sg").Set(9) // touched
 
 	parent.Absorb(child)

@@ -234,8 +234,14 @@ type LLMServer struct {
 	tokensEmitted, emittedByRequests              int
 	truncated, truncatedTokens, degradedEvents    int
 	tpotMisses, sloAttained                       int
-	ttfts, tpots, qdelays                         []float64
 	byClass                                       metrics.ByClass
+
+	// TTFT/TPOT/queue-delay histograms recorded at source; Stats derives its
+	// percentiles from these in both retained and Slim modes (the legacy
+	// exact-sample slices are gone — bounded memory, ≤ ~19% relative error).
+	ttftHist *obs.Hist
+	tpotHist *obs.Hist
+	qdHist   *obs.Hist
 
 	rec    *obs.Recorder
 	obsDev int
@@ -326,6 +332,9 @@ func NewLLMServer(env *sim.Env, cfg LLMConfig) (*LLMServer, error) {
 	}
 	reg := cfg.Obs.Registry()
 	devLabel := strconv.Itoa(cfg.Device)
+	s.ttftHist = obs.EnsureHist(reg.Histogram("olympian_llm_ttft_seconds", "Time to first token over completions.", "device", devLabel))
+	s.tpotHist = obs.EnsureHist(reg.Histogram("olympian_llm_tpot_seconds", "Mean inter-token gap over completions.", "device", devLabel))
+	s.qdHist = obs.EnsureHist(reg.Histogram("olympian_llm_queue_delay_seconds", "Arrival-to-first-prefill queue delay.", "device", devLabel))
 	s.llmReqC = reg.Counter("olympian_llm_requests_total", "LLM requests arrived (submit or ingest).", "device", devLabel)
 	s.llmDoneC = reg.Counter("olympian_llm_completed_total", "LLM requests completed.", "device", devLabel)
 	s.llmFailC = reg.Counter("olympian_llm_failed_total", "LLM requests failed.", "device", devLabel)
@@ -657,7 +666,7 @@ func (s *LLMServer) checkDegraded(now sim.Time) {
 func (s *LLMServer) runPrefill(p *sim.Proc, r *llm.Request) {
 	if r.PrefillStartAt == 0 {
 		r.PrefillStartAt = p.Now()
-		s.qdelays = append(s.qdelays, r.QueueDelay().Seconds())
+		s.qdHist.Observe(r.QueueDelay())
 	}
 	tokens := r.PromptTokens + r.TokensOut
 	if err := s.kv.Grow(r.ID, tokens); err != nil {
@@ -829,10 +838,10 @@ func (s *LLMServer) bookComplete(r *llm.Request, now sim.Time) {
 	s.llmDoneC.Inc()
 	s.emittedByRequests += r.EmittedHere()
 	if ttft := r.TTFT(); ttft > 0 {
-		s.ttfts = append(s.ttfts, ttft.Seconds())
+		s.ttftHist.Observe(ttft)
 	}
 	if tpot := r.TPOT(); tpot > 0 {
-		s.tpots = append(s.tpots, tpot.Seconds())
+		s.tpotHist.Observe(tpot)
 	}
 	ok := s.cfg.TTFTDeadline <= 0 || r.TTFT() <= s.cfg.TTFTDeadline
 	if s.cfg.TPOTBudget > 0 && r.TPOT() > s.cfg.TPOTBudget {
@@ -906,9 +915,9 @@ func (s *LLMServer) Stats() LLMStats {
 		KernelRetries:     s.kernelRetries,
 		TokensEmitted:     s.tokensEmitted,
 		EmittedByRequests: s.emittedByRequests,
-		TTFT:              metrics.PercentilesOf(s.ttfts),
-		TPOT:              metrics.PercentilesOf(s.tpots),
-		QueueDelay:        metrics.PercentilesOf(s.qdelays),
+		TTFT:              histPercentiles(s.ttftHist),
+		TPOT:              histPercentiles(s.tpotHist),
+		QueueDelay:        histPercentiles(s.qdHist),
 		KV:                s.kv.Stats(),
 		MemoryPeak:        s.dev.Stats().MemoryPeak,
 		ByClass:           s.byClass,

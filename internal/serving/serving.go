@@ -214,6 +214,18 @@ type ModelLatency struct {
 	Latency metrics.Percentiles
 }
 
+// HistPercentiles summarizes a source-recorded histogram as the
+// metrics.Percentiles carried by Stats structs; the zero value on an empty
+// (or nil) histogram means "no samples". The cluster layer reuses it for its
+// fleet-level TTFT/TPOT histograms.
+func HistPercentiles(h *obs.Hist) metrics.Percentiles {
+	n, p50, p95, p99 := h.Percentiles()
+	return metrics.Percentiles{N: n, P50: p50, P95: p95, P99: p99}
+}
+
+// histPercentiles is the package-internal alias.
+func histPercentiles(h *obs.Hist) metrics.Percentiles { return HistPercentiles(h) }
+
 // ModelAdmission is one model's adaptive-admission limiter state at report
 // time.
 type ModelAdmission struct {
@@ -278,8 +290,16 @@ type Server struct {
 	slimCompleted int
 	slimFailed    int
 	slimSizes     int
-	slimLats      []float64
-	slimByModel   map[string][]float64
+
+	// Latency and queue-delay histograms, recorded at source on every
+	// completion/dispatch in both retained and Slim modes; Stats derives its
+	// quantiles from these (bounded memory — the legacy exact-sample slices
+	// are gone). Registered in the obs registry when recording is on so the
+	// telemetry sampler and Prometheus exposition see them; standalone
+	// otherwise.
+	latHist    *obs.Hist
+	qdHist     *obs.Hist
+	modelHists map[string]*obs.Hist
 
 	retryLeft int
 	degraded  metrics.Degraded
@@ -362,13 +382,13 @@ func NewServer(env *sim.Env, cfg Config) (*Server, error) {
 		retryLeft: cfg.RetryBudget,
 		build:     model.Build,
 	}
-	if cfg.Slim {
-		s.slimByModel = make(map[string][]float64)
-	}
 	s.rec = cfg.Obs
 	s.obsDev = cfg.Device
 	reg := cfg.Obs.Registry()
 	devLabel := strconv.Itoa(cfg.Device)
+	s.latHist = obs.EnsureHist(reg.Histogram("olympian_serving_request_latency_seconds", "End-to-end request latency.", "device", devLabel))
+	s.qdHist = obs.EnsureHist(reg.Histogram("olympian_serving_queue_delay_seconds", "Arrival-to-dispatch queue delay.", "device", devLabel))
+	s.modelHists = make(map[string]*obs.Hist)
 	for c := overload.Class(0); c < overload.NumClasses; c++ {
 		s.reqC[c] = reg.Counter("olympian_serving_requests_total", "Requests submitted.", "device", devLabel, "class", c.String())
 		s.doneC[c] = reg.Counter("olympian_serving_completed_total", "Requests completed in time or late.", "device", devLabel, "class", c.String())
@@ -807,6 +827,7 @@ func (s *Server) flush(modelName string) {
 	for _, r := range batch {
 		r.BatchedAt = now
 		r.BatchSize = size
+		s.qdHist.Observe(time.Duration(now - r.ArriveAt))
 		// The queue-wait span ends at dispatch; clear the handle so a later
 		// batch failure does not re-close it.
 		s.rec.EndSpan(r.span)
@@ -915,11 +936,10 @@ func (s *Server) runBatch(p *sim.Proc, clientID int, g *graph.Graph, batch []*Re
 		} else if lim != nil {
 			lim.OnSuccess()
 		}
+		s.latHist.Observe(r.Latency())
+		s.modelHist(r.Model).Observe(r.Latency())
 		if s.cfg.Slim {
-			lat := r.Latency().Seconds()
 			s.slimCompleted++
-			s.slimLats = append(s.slimLats, lat)
-			s.slimByModel[r.Model] = append(s.slimByModel[r.Model], lat)
 			s.slimSizes += r.BatchSize
 		}
 		r.done.Trigger()
@@ -974,16 +994,29 @@ func (s *Server) AvailAt(now sim.Time) metrics.Availability {
 	return a
 }
 
-// Stats summarises completed requests.
+// modelHist lazily creates the per-model latency histogram. First-completion
+// order is deterministic for a given seed, so registration order (and thus
+// sampler traversal) matches across engines.
+func (s *Server) modelHist(modelName string) *obs.Hist {
+	h, ok := s.modelHists[modelName]
+	if !ok {
+		h = obs.EnsureHist(s.rec.Registry().Histogram(
+			"olympian_serving_model_latency_seconds", "Request latency by model.",
+			"device", strconv.Itoa(s.obsDev), "model", modelName))
+		s.modelHists[modelName] = h
+	}
+	return h
+}
+
+// Stats summarises completed requests. Latency quantiles come from the
+// source-recorded histograms in both retained and Slim modes (≤ ~19%
+// relative error from log bucketing), so the two modes report identical
+// values with bounded memory.
 func (s *Server) Stats() Stats {
 	st := Stats{Requests: s.reqCount, Batches: s.batches}
-	var lats []float64
 	var sizes int
-	byModel := make(map[string][]float64)
 	if s.cfg.Slim {
 		st.Completed, st.Failed = s.slimCompleted, s.slimFailed
-		lats = append(lats, s.slimLats...)
-		byModel = s.slimByModel
 		sizes = s.slimSizes
 	}
 	for _, r := range s.requests {
@@ -995,24 +1028,21 @@ func (s *Server) Stats() Stats {
 			continue
 		}
 		st.Completed++
-		lats = append(lats, r.Latency().Seconds())
-		byModel[r.Model] = append(byModel[r.Model], r.Latency().Seconds())
 		sizes += r.BatchSize
 	}
-	if len(lats) > 0 {
-		sort.Float64s(lats)
-		st.P50 = metrics.Quantile(lats, 0.50)
-		st.P95 = metrics.Quantile(lats, 0.95)
-		st.P99 = metrics.Quantile(lats, 0.99)
+	if s.latHist.Count() > 0 {
+		st.P50 = s.latHist.Quantile(0.50)
+		st.P95 = s.latHist.Quantile(0.95)
+		st.P99 = s.latHist.Quantile(0.99)
 	}
-	names := make([]string, 0, len(byModel))
-	for name := range byModel {
+	names := make([]string, 0, len(s.modelHists))
+	for name := range s.modelHists {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		st.PerModel = append(st.PerModel, ModelLatency{
-			Model: name, Latency: metrics.PercentilesOf(byModel[name]),
+			Model: name, Latency: histPercentiles(s.modelHists[name]),
 		})
 	}
 	limNames := make([]string, 0, len(s.limiters))
@@ -1027,8 +1057,8 @@ func (s *Server) Stats() Stats {
 			Sheds: lim.Sheds(), Decreases: lim.Decreases(),
 		})
 	}
-	if len(lats) > 0 {
-		st.MeanBatchSize = float64(sizes) / float64(len(lats))
+	if st.Completed > 0 {
+		st.MeanBatchSize = float64(sizes) / float64(st.Completed)
 	}
 	if now := s.env.Now(); now > 0 {
 		st.Utilization = s.dev.TotalBusy().Seconds() / now.Seconds()

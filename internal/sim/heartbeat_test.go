@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHeartbeatBoundaries checks the core semantics: a heartbeat at boundary
+// B fires only once an event strictly after B is popped, so events scheduled
+// exactly at B are visible to the callback, and boundaries past the last
+// event never fire.
+func TestHeartbeatBoundaries(t *testing.T) {
+	env := NewEnv(1)
+	var seen []int // value of counter at each tick
+	counter := 0
+	var ticks []Time
+	env.Heartbeat(10*time.Millisecond, func(at Time) {
+		ticks = append(ticks, at)
+		seen = append(seen, counter)
+	})
+	// Events at 5ms, 10ms (exactly on a boundary), 25ms, 30ms, 47ms.
+	for _, ms := range []int64{5, 10, 25, 30, 47} {
+		env.ScheduleAt(Time(ms)*Time(time.Millisecond), func() { counter++ })
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Boundaries that fire: 10ms (before the 25ms event), 20ms (same), 30ms
+	// (before 47ms), 40ms (same). 50ms never fires — no event after it.
+	wantTicks := []Time{
+		Time(10 * time.Millisecond),
+		Time(20 * time.Millisecond),
+		Time(30 * time.Millisecond),
+		Time(40 * time.Millisecond),
+	}
+	if len(ticks) != len(wantTicks) {
+		t.Fatalf("ticks = %v, want %v", ticks, wantTicks)
+	}
+	for i := range ticks {
+		if ticks[i] != wantTicks[i] {
+			t.Fatalf("tick %d = %v, want %v", i, ticks[i], wantTicks[i])
+		}
+	}
+	// State at 10ms includes the event AT 10ms (2 events ≤ 10ms); at 20ms the
+	// same; at 30ms the 25ms and 30ms events have run (4); at 40ms still 4.
+	wantSeen := []int{2, 2, 4, 4}
+	for i := range seen {
+		if seen[i] != wantSeen[i] {
+			t.Fatalf("seen = %v, want %v", seen, wantSeen)
+		}
+	}
+}
+
+// TestHeartbeatMultipleRegistrations checks that several heartbeats on one
+// environment interleave by (boundary time, registration order) — the
+// single-heap sharded engine registers one sampler per shard this way.
+func TestHeartbeatMultipleRegistrations(t *testing.T) {
+	env := NewEnv(1)
+	type tick struct {
+		id int
+		at Time
+	}
+	var got []tick
+	env.Heartbeat(10*time.Millisecond, func(at Time) { got = append(got, tick{0, at}) })
+	env.Heartbeat(15*time.Millisecond, func(at Time) { got = append(got, tick{1, at}) })
+	env.Heartbeat(10*time.Millisecond, func(at Time) { got = append(got, tick{2, at}) })
+	env.ScheduleAt(Time(35*time.Millisecond), func() {})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ms := func(n int64) Time { return Time(n) * Time(time.Millisecond) }
+	want := []tick{
+		{0, ms(10)}, {2, ms(10)},
+		{1, ms(15)},
+		{0, ms(20)}, {2, ms(20)},
+		{0, ms(30)}, {1, ms(30)}, {2, ms(30)},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("tick %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHeartbeatZeroPerturbation runs the same workload with and without a
+// heartbeat registered and checks that event execution order, final time,
+// and RNG draws are identical: the sampler must be a pure observer.
+func TestHeartbeatZeroPerturbation(t *testing.T) {
+	run := func(withHB bool) ([]Time, []int64, Time) {
+		env := NewEnv(42)
+		if withHB {
+			env.Heartbeat(3*time.Millisecond, func(Time) {})
+		}
+		var order []Time
+		var draws []int64
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth == 0 {
+				return
+			}
+			d := Duration(env.Rand().Int63n(int64(10 * time.Millisecond)))
+			draws = append(draws, int64(d))
+			env.Schedule(d, func() {
+				order = append(order, env.Now())
+				schedule(depth - 1)
+			})
+		}
+		schedule(20)
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order, draws, env.Now()
+	}
+	o1, d1, t1 := run(false)
+	o2, d2, t2 := run(true)
+	if t1 != t2 {
+		t.Fatalf("final time diverged: %v vs %v", t1, t2)
+	}
+	if len(o1) != len(o2) || len(d1) != len(d2) {
+		t.Fatalf("event/draw counts diverged")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("event order diverged at %d: %v vs %v", i, o1[i], o2[i])
+		}
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("rng draws diverged at %d", i)
+		}
+	}
+}

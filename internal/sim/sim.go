@@ -132,7 +132,28 @@ type Env struct {
 	stopped  bool
 	shutdown bool
 	limit    Time // 0 means no limit
+
+	// Heartbeats fire at fixed virtual-time boundaries without occupying
+	// the event queue: the run loop checks hbNext (maxTime when none are
+	// registered — one predictable comparison on the hot path) before
+	// executing each popped event and fires every boundary strictly below
+	// the event's timestamp. A heartbeat therefore sees the simulation
+	// state exactly as of its boundary — all events at or before it have
+	// run, none after — and schedules nothing itself, so registering one
+	// cannot perturb event order, randomness, or run termination.
+	hbs    []heartbeat
+	hbNext Time
 }
+
+// heartbeat is one registered fixed-interval callback.
+type heartbeat struct {
+	every Time
+	next  Time
+	fn    func(at Time)
+}
+
+// maxTime is the sentinel hbNext value when no heartbeats are registered.
+const maxTime = Time(1<<63 - 1)
 
 // NewEnv returns an environment whose random source is seeded with seed.
 func NewEnv(seed int64) *Env {
@@ -140,6 +161,47 @@ func NewEnv(seed int64) *Env {
 		rng:    rand.New(rand.NewSource(seed)),
 		mainCh: make(chan struct{}),
 		procs:  make(map[*Proc]struct{}),
+		hbNext: maxTime,
+	}
+}
+
+// Heartbeat registers fn to run at every multiple of the interval on the
+// virtual clock (first at one interval past the current time). Callbacks
+// fire lazily, immediately before the first event with a later timestamp
+// executes, so an event scheduled exactly on a boundary is included in that
+// boundary's view of the state; boundaries past the last event never fire.
+// fn must only read simulation state — it must not schedule events, spawn
+// processes, or draw randomness. Multiple heartbeats may be registered (a
+// single-heap sharded engine registers one per shard on the shared
+// environment); same-time boundaries fire in registration order.
+func (e *Env) Heartbeat(every Duration, fn func(at Time)) {
+	if every <= 0 || fn == nil {
+		return
+	}
+	hb := heartbeat{every: Time(every), next: e.now + Time(every), fn: fn}
+	e.hbs = append(e.hbs, hb)
+	if hb.next < e.hbNext {
+		e.hbNext = hb.next
+	}
+}
+
+// fireHeartbeats runs every due boundary strictly below at, in (boundary
+// time, registration order), and recomputes the next-due cache.
+func (e *Env) fireHeartbeats(at Time) {
+	for {
+		best := -1
+		bt := maxTime
+		for i := range e.hbs {
+			if e.hbs[i].next < bt {
+				best, bt = i, e.hbs[i].next
+			}
+		}
+		if best < 0 || bt >= at {
+			e.hbNext = bt
+			return
+		}
+		e.hbs[best].fn(bt)
+		e.hbs[best].next = bt + e.hbs[best].every
 	}
 }
 
@@ -317,6 +379,9 @@ func (e *Env) runLoop(self *Proc, exiting bool) {
 			return
 		}
 		ev := e.events.pop()
+		if ev.at > e.hbNext {
+			e.fireHeartbeats(ev.at)
+		}
 		if ev.proc == nil {
 			e.now = ev.at
 			ev.fn()

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"olympian/internal/obs"
+	"olympian/internal/sim"
+)
+
+// histSnap is one histogram's cumulative state at a tick boundary: the raw
+// per-bucket counts plus the exact integer-nanosecond sum. Integer state
+// makes merged snapshots independent of merge order.
+type histSnap struct {
+	buckets [obs.HistBucketCount]uint64
+	sumNs   int64
+}
+
+func (s histSnap) count() uint64 {
+	n := uint64(0)
+	for _, c := range s.buckets {
+		n += c
+	}
+	return n
+}
+
+func (s histSnap) sub(o histSnap) histSnap {
+	for i := range s.buckets {
+		s.buckets[i] -= o.buckets[i]
+	}
+	s.sumNs -= o.sumNs
+	return s
+}
+
+func (s histSnap) add(o histSnap) histSnap {
+	for i := range s.buckets {
+		s.buckets[i] += o.buckets[i]
+	}
+	s.sumNs += o.sumNs
+	return s
+}
+
+// scalarRing is one scalar series' ring buffer. A series appears at the tick
+// its registry series is first scraped (first); pushes then cover every
+// consecutive tick, with the oldest evicted past the capacity. The touched
+// ring mirrors the registry's touched flag so gauge merging can apply the
+// same set-if-touched rule Registry.Absorb uses.
+type scalarRing struct {
+	name    string
+	labels  string
+	counter bool
+	first   int // absolute tick index of the first push
+	n       int // pushes so far
+	vals    []float64
+	touched []bool
+}
+
+func (r *scalarRing) push(cap int, v float64, touched bool) {
+	if len(r.vals) < cap {
+		r.vals = append(r.vals, v)
+		r.touched = append(r.touched, touched)
+	} else {
+		r.vals[r.n%cap] = v
+		r.touched[r.n%cap] = touched
+	}
+	r.n++
+}
+
+// at returns the value and touched flag for absolute tick t; ok is false
+// before the series first appeared or past the retained window.
+func (r *scalarRing) at(t int) (v float64, touched, ok bool) {
+	i := t - r.first
+	if i < 0 || i >= r.n || i < r.n-len(r.vals) {
+		return 0, false, false
+	}
+	return r.vals[i%len(r.vals)], r.touched[i%len(r.vals)], true
+}
+
+// histRing is one histogram series' ring of cumulative snapshots.
+type histRing struct {
+	name   string
+	labels string
+	first  int
+	n      int
+	snaps  []histSnap
+}
+
+func (r *histRing) push(cap int, s histSnap) {
+	if len(r.snaps) < cap {
+		r.snaps = append(r.snaps, s)
+	} else {
+		r.snaps[r.n%cap] = s
+	}
+	r.n++
+}
+
+func (r *histRing) at(t int) (histSnap, bool) {
+	i := t - r.first
+	if i < 0 || i >= r.n || i < r.n-len(r.snaps) {
+		return histSnap{}, false
+	}
+	return r.snaps[i%len(r.snaps)], true
+}
+
+// Sampler scrapes one registry into ring-buffer series on a fixed cadence of
+// simulated time. Bind attaches it to an environment's heartbeat hook; on
+// the sharded engine each shard gets its own sampler over its shard-child
+// registry, and Merge folds them into one fleet Timeline. A nil sampler is
+// the disabled plane: Bind and Scrape are no-ops.
+type Sampler struct {
+	cfg Config
+	reg *obs.Registry
+
+	ticks     int
+	scalars   []*scalarRing
+	scalarIdx map[string]int
+	hists     []*histRing
+	histIdx   map[string]int
+}
+
+// NewSampler builds a sampler over reg. Returns nil when reg is nil — the
+// disabled plane.
+func NewSampler(cfg Config, reg *obs.Registry) *Sampler {
+	if reg == nil {
+		return nil
+	}
+	return &Sampler{
+		cfg:       cfg.withDefaults(),
+		reg:       reg,
+		scalarIdx: make(map[string]int),
+		histIdx:   make(map[string]int),
+	}
+}
+
+// Bind registers the sampler on env's heartbeat hook so Scrape runs every
+// Interval of simulated time. The heartbeat only reads registry state, so
+// binding a sampler cannot perturb the simulation. No-op on a nil sampler.
+func (s *Sampler) Bind(env *sim.Env) {
+	if s == nil || env == nil {
+		return
+	}
+	env.Heartbeat(s.cfg.Interval, func(sim.Time) { s.Scrape() })
+}
+
+// Ticks returns the number of scrapes taken so far.
+func (s *Sampler) Ticks() int {
+	if s == nil {
+		return 0
+	}
+	return s.ticks
+}
+
+// Scrape records one tick: every scalar and histogram series in the registry
+// is snapshotted into its ring. Series that appear mid-run (lazily
+// registered histograms) start at the current tick; earlier ticks read as
+// zero. No-op on a nil sampler.
+func (s *Sampler) Scrape() {
+	if s == nil {
+		return
+	}
+	tick := s.ticks
+	s.reg.VisitScalars(func(name, labels string, counter bool, v float64, touched bool) {
+		key := name + labels
+		i, ok := s.scalarIdx[key]
+		if !ok {
+			i = len(s.scalars)
+			s.scalarIdx[key] = i
+			s.scalars = append(s.scalars, &scalarRing{name: name, labels: labels, counter: counter, first: tick})
+		}
+		s.scalars[i].push(s.cfg.Capacity, v, touched)
+	})
+	s.reg.VisitHists(func(name, labels string, h *obs.Hist) {
+		key := name + labels
+		i, ok := s.histIdx[key]
+		if !ok {
+			i = len(s.hists)
+			s.histIdx[key] = i
+			s.hists = append(s.hists, &histRing{name: name, labels: labels, first: tick})
+		}
+		s.hists[i].push(s.cfg.Capacity, histSnap{buckets: h.Buckets(), sumNs: h.SumNanos()})
+	})
+	s.ticks++
+}
+
+// FinishTo extends the sampler to target ticks by re-scraping the registry's
+// final state. On the sharded engine a shard whose local events end early
+// stops ticking before the global horizon; since its registry no longer
+// changes after its last event, every missing tick's scrape equals the final
+// state — extending this way reproduces exactly what the single-heap engine
+// (whose global pops keep every sampler ticking) would have recorded.
+func (s *Sampler) FinishTo(target int) {
+	if s == nil {
+		return
+	}
+	for s.ticks < target {
+		s.Scrape()
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"olympian/internal/obs"
+	"olympian/internal/telemetry"
 )
 
 // Track layout for lifecycle traces: one Chrome-trace process per device
@@ -21,6 +22,7 @@ const (
 	tidClients     = 4 // workload harness (client batches, run markers)
 	tidExecutor    = 5 // execution engine (jobs, retries, aborts)
 	tidGPU         = 6 // device occupancy (H2D, kernels, stalls)
+	tidTelemetry   = 7 // SLO burn-rate alert transitions (telemetry plane)
 )
 
 // lifecyclePid maps an obs device index to a Chrome-trace process id.
@@ -40,6 +42,8 @@ func lifecycleTid(layer obs.Layer, class int8) int {
 		return tidExecutor
 	case obs.LayerHarness:
 		return tidClients
+	case obs.LayerTelemetry:
+		return tidTelemetry
 	}
 	// Serving, cluster, and overload events ride the class tracks.
 	switch class {
@@ -66,6 +70,8 @@ func tidName(tid int) string {
 		return "executor"
 	case tidGPU:
 		return "gpu"
+	case tidTelemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("track-%d", tid)
 	}
@@ -103,6 +109,14 @@ func spanArgs(req int32, seq uint32, layer obs.Layer, arg int64) lifecycleArgs {
 // metadata is sorted and events keep recorded order, so same-seed runs
 // render byte-identically.
 func WriteLifecycle(w io.Writer, tr *obs.Trace) error {
+	tf := lifecycleFile(tr)
+	return json.NewEncoder(w).Encode(tf)
+}
+
+// lifecycleFile builds the lifecycle trace's event list; WriteLifecycle
+// encodes it directly and WriteLifecycleTimeline appends counter tracks
+// first.
+func lifecycleFile(tr *obs.Trace) traceFile {
 	tf := traceFile{
 		// Explicitly empty: a nil slice marshals to JSON null, which
 		// Perfetto rejects.
@@ -164,6 +178,42 @@ func WriteLifecycle(w io.Writer, tr *obs.Trace) error {
 			S:    "t",
 			Args: lifecycleArgs{Req: int64(p.Req), Layer: p.Layer.String(), Arg: p.Arg},
 		})
+	}
+	return tf
+}
+
+// WriteLifecycleTimeline renders the lifecycle trace plus the telemetry
+// plane's burn-rate series as Perfetto counter tracks ("C" events on the
+// cluster process): one counter per SLO/rule pair, sampled at every retained
+// tick, shifted by the timeline's trace offset so the counters overlay the
+// run whose alerts were logged. Alert transitions themselves already ride
+// the lifecycle trace as telemetry-track instants (Timeline.LogAlerts), so
+// the counters and the instants line up. Output stays a deterministic
+// function of (trace, timeline): counter keys render in sorted order.
+func WriteLifecycleTimeline(w io.Writer, tr *obs.Trace, tl *telemetry.Timeline) error {
+	tf := lifecycleFile(tr)
+	if tl != nil {
+		burns := tl.Burns()
+		keys := make([]string, 0, len(burns))
+		for k := range burns {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		off := int64(tl.TraceOffset())
+		us := func(t int64) float64 { return float64(t) / float64(time.Microsecond) }
+		for _, k := range keys {
+			name := "burn:" + k
+			for i, v := range burns[k] {
+				tf.TraceEvents = append(tf.TraceEvents, event{
+					Name: name,
+					Ph:   "C",
+					Ts:   us(off + int64(tl.TickTime(tl.Start+i))),
+					Pid:  0,
+					Tid:  0,
+					Args: map[string]float64{"burn": v},
+				})
+			}
+		}
 	}
 	return json.NewEncoder(w).Encode(tf)
 }

@@ -22,6 +22,7 @@ import (
 	"olympian/internal/par"
 	"olympian/internal/profiler"
 	"olympian/internal/sim"
+	"olympian/internal/telemetry"
 )
 
 // SchedulerKind selects the middleware scheduler for a run.
@@ -143,6 +144,13 @@ type Config struct {
 	// by recording each run into a private child recorder and splicing
 	// the children back in spec order.
 	Obs *obs.Recorder
+	// Telemetry, when non-nil alongside Obs, scrapes the run's registry on
+	// the virtual clock every Interval of simulated time and evaluates the
+	// configured SLO burn-rate rules; the merged timeline lands in
+	// Result.Timeline and its alerts are logged back onto Obs. Ignored when
+	// Obs is nil. The sampler only reads registry state at heartbeat
+	// boundaries, so enabling it never perturbs simulated results.
+	Telemetry *telemetry.Config
 }
 
 // MaxBatchRetries bounds how often a closed-loop client re-submits a
@@ -184,6 +192,9 @@ type Result struct {
 	Quantum time.Duration
 	// Degraded tallies injected faults and the recovery work they forced.
 	Degraded metrics.Degraded
+	// Timeline is the run's merged virtual-time telemetry (nil unless
+	// Config.Telemetry and Config.Obs were both set).
+	Timeline *telemetry.Timeline
 }
 
 // Run executes the workload and returns its measurements.
@@ -214,6 +225,11 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 
 	env := sim.NewEnv(cfg.Seed)
 	cfg.Obs.Bind(env, "run:"+cfg.Kind.String())
+	var sampler *telemetry.Sampler
+	if cfg.Telemetry != nil {
+		sampler = telemetry.NewSampler(*cfg.Telemetry, cfg.Obs.Registry())
+		sampler.Bind(env)
+	}
 	dev := gpu.New(env, cfg.Spec)
 
 	var inj *faults.Injector
@@ -377,6 +393,10 @@ func Run(cfg Config, clients []ClientSpec) (*Result, error) {
 	if sched != nil {
 		res.Quanta = sched.Records()
 		res.Switches = sched.Switches()
+	}
+	if sampler != nil {
+		res.Timeline = telemetry.Merge(*cfg.Telemetry, []*telemetry.Sampler{sampler})
+		res.Timeline.LogAlerts(cfg.Obs)
 	}
 	if runErr != nil {
 		return res, fmt.Errorf("workload %s: %w", cfg.Kind, runErr)
